@@ -1,0 +1,54 @@
+"""Ablation: the three permutation-fingerprint variants of §5.
+
+* hash-sum (Lemma 4) — one hash + wide sum per element; needs a trusted
+  hash function;
+* polynomial over F_r (Lemma 5) — one modular multiply per element; needs
+  no randomness beyond the evaluation point;
+* GF(2^64) (§5 remark) — carry-less multiplies (hardware: PCLMULQDQ; here:
+  two-lane numpy emulation, so this variant is *expected* to lose big —
+  the bench documents the gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.permutation_checker import (
+    check_permutation_gf64,
+    check_permutation_hashsum,
+    check_permutation_polynomial,
+)
+from repro.workloads.uniform import uniform_integers
+
+_N = 100_000
+
+
+def _data():
+    e = uniform_integers(_N, seed=3)
+    return e, np.sort(e)
+
+
+def test_perm_variant_hashsum(benchmark):
+    e, o = _data()
+    result = benchmark(
+        lambda: check_permutation_hashsum(e, o, iterations=2, seed=11)
+    )
+    assert result.accepted
+
+
+def test_perm_variant_polynomial(benchmark):
+    e, o = _data()
+    result = benchmark(
+        lambda: check_permutation_polynomial(
+            e, o, delta=2.0**-20, universe=10**8, seed=11
+        )
+    )
+    assert result.accepted
+
+
+def test_perm_variant_gf64(benchmark):
+    e, o = _data()
+    result = benchmark(
+        lambda: check_permutation_gf64(e, o, iterations=1, seed=11)
+    )
+    assert result.accepted

@@ -1,0 +1,73 @@
+"""Fig 4: weak-scaling overhead of the checked reduction pipeline.
+
+Paper: 125 000 Zipf items per PE, p = 32..4096 cores of bwUniCluster,
+time(with checker)/time(without checker) ≈ 1.01–1.12 and essentially flat —
+"the overhead introduced by the checkers is within the fluctuations
+introduced by the network"; average overhead 1.1 % beyond one node, 2.4 %
+for the most accurate configuration.
+
+Substitution (DESIGN.md): measured thread-backed ratios for small p (real
+local work, shared-memory messages — an *upper bound* on the ratio because
+our simulated network is nearly free while the checker's numpy local work
+is ~15x more expensive per element than the paper's SIMD C++), plus the
+paper's own α–β model with measured local constants for the full p range.
+Shape assertions: the modeled ratio stays modest and does not grow with p.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.params import SumCheckConfig
+from repro.experiments.report import format_table
+from repro.experiments.scaling import measured_weak_scaling, modeled_weak_scaling
+
+_CONFIGS = ("5x16 CRC m5", "4x256 CRC m15", "16x16 Tab64 m15")
+
+
+def test_fig4_weak_scaling(benchmark, overhead_elements):
+    items_per_pe = max(10_000, overhead_elements // 10)
+
+    def experiment():
+        measured = {
+            label: measured_weak_scaling(
+                SumCheckConfig.parse(label),
+                items_per_pe=items_per_pe,
+                pes=(1, 2, 4, 8),
+                repeats=3,
+                num_keys=10**5,
+                seed=0xF164,
+            )
+            for label in _CONFIGS
+        }
+        modeled = {
+            label: modeled_weak_scaling(
+                SumCheckConfig.parse(label),
+                items_per_pe=125_000,
+                pes=(32, 64, 128, 256, 512, 1024, 2048, 4096),
+                num_keys=10**6,
+                measure_elements=max(100_000, overhead_elements // 3),
+                seed=0xF164,
+            )
+            for label in _CONFIGS
+        }
+        return measured, modeled
+
+    measured, modeled = run_once(benchmark, experiment)
+    print()
+    rows = []
+    for label, points in measured.items():
+        for pt in points:
+            rows.append((label, "measured (threads)", pt.p, f"{pt.ratio:.3f}"))
+    for label, points in modeled.items():
+        for pt in points:
+            rows.append((label, "α–β model", pt.p, f"{pt.ratio:.3f}"))
+    print(format_table(["configuration", "mode", "p", "time ratio"], rows))
+
+    for label, points in modeled.items():
+        ratios = [pt.ratio for pt in points]
+        benchmark.extra_info[f"model_ratio_{label}"] = ratios[-1]
+        # Shape: overhead does not blow up with p (flat or declining as the
+        # exchange starts to dominate — the paper's central observation).
+        assert ratios[-1] <= ratios[0] * 1.05, (label, ratios)
+        assert ratios[-1] < 1.5, (label, ratios)

@@ -1,0 +1,49 @@
+"""Table 1: the checkers' communication volume is sublinear in n.
+
+Table 1's running times contain communication terms independent of the
+input size (sum/average/median: β·d·w per iteration; permutation family:
+β·w per iteration) and only O(log p) messages.  The simulated network
+meters every byte, so this bench *measures* the checker-phase bottleneck
+communication volume while n grows 100-fold and asserts it stays flat.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.experiments.volume import checker_volume_table
+
+
+def test_table1_checker_communication_volume(benchmark):
+    def experiment():
+        return checker_volume_table(
+            checkers=("sum", "permutation", "sort", "zip", "median"),
+            ns=(1_000, 10_000, 100_000),
+            p=4,
+            seed=0x7AB1,
+        )
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["checker", "n", "p", "bottleneck bytes/PE", "max msgs/PE"],
+            [
+                (r.checker, r.n, r.p, r.bottleneck_bytes, r.max_messages_per_pe)
+                for r in rows
+            ],
+        )
+    )
+
+    by_checker: dict[str, list] = {}
+    for r in rows:
+        by_checker.setdefault(r.checker, []).append(r)
+    for checker, series in by_checker.items():
+        series.sort(key=lambda r: r.n)
+        volumes = [r.bottleneck_bytes for r in series]
+        benchmark.extra_info[checker] = volumes[-1]
+        # Sublinear (in fact constant) in n: 100x more data, same bytes.
+        assert volumes[-1] <= volumes[0] * 1.5, (checker, volumes)
+        # Polylogarithmic number of messages.
+        assert all(r.max_messages_per_pe <= 64 for r in series), checker

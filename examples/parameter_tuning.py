@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Parameter tuning: pick (d, r̂, iterations) for your network and δ.
+
+Reproduces the paper's Table 2 workflow: given the effective minimum
+message size b of an interconnect (sending fewer than b bits is not
+measurably faster) and a target failure probability δ, numerically find the
+configuration minimising checker iterations.
+
+    python examples/parameter_tuning.py
+"""
+
+from repro.core.params import optimize_parameters
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for b in (1024, 4096, 16384, 65536):
+        for delta in (1e-6, 1e-10, 1e-20):
+            cfg = optimize_parameters(b, delta)
+            rows.append(
+                (
+                    b,
+                    f"{delta:.0e}",
+                    cfg.d,
+                    f"2^{(cfg.rhat - 1).bit_length()}",
+                    cfg.iterations,
+                    f"{cfg.failure_bound:.1e}",
+                    cfg.table_bits,
+                )
+            )
+    print(
+        format_table(
+            ["b (bits)", "δ target", "d", "r̂", "#its", "achieved δ", "table bits"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: for a 1 KiB effective message, δ = 1e-10 needs 10"
+        "\niterations over 14 buckets — one extra input pass and 980 bits of"
+        "\ncommunication buy near-certainty about a terabyte-scale reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Checked distributed sorting with all three permutation fingerprints.
+
+Sample-sorts 10^6 uniform integers over 4 PEs and verifies the result with
+Theorem 7's sort checker, comparing the three §5 fingerprint variants:
+hash-sum (Lemma 4), polynomial over F_r (Lemma 5) and GF(2^64).
+
+    python examples/sort_pipeline_checked.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Context
+from repro.core import check_sort
+from repro.dataflow import sample_sort
+from repro.workloads import uniform_integers
+
+
+def main() -> None:
+    data = uniform_integers(1_000_000, universe=10**8, seed=5)
+    ctx = Context(num_pes=4)
+
+    def job(comm, chunk, method):
+        t0 = time.perf_counter()
+        out = sample_sort(comm, chunk)
+        t_sort = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        verdict = check_sort(
+            chunk, out, method=method, universe=10**8, seed=11, comm=comm
+        )
+        t_check = time.perf_counter() - t0
+        return out.size, verdict.accepted, t_sort, t_check
+
+    for method in ("hashsum", "polynomial", "gf64"):
+        outs = ctx.run(
+            job,
+            per_rank_args=ctx.split(data),
+            common_args=(method,),
+        )
+        assert all(o[1] for o in outs)
+        n_out = sum(o[0] for o in outs)
+        t_sort = max(o[2] for o in outs)
+        t_check = max(o[3] for o in outs)
+        traffic = ctx.traffic_summary()
+        print(
+            f"{method:>10}: sorted {n_out} elements in {t_sort * 1e3:7.1f} ms, "
+            f"checked in {t_check * 1e3:7.1f} ms, verdict ACCEPT "
+            f"(bottleneck {traffic['bottleneck_bytes']} B/PE)"
+        )
+
+    # Now a silently corrupted sort: one element altered in transit.
+    def corrupted(comm, chunk):
+        out = sample_sort(comm, chunk)
+        if comm.rank == 1 and out.size:
+            out = out.copy()
+            out[0] += 1  # bit rot after sorting — stays sorted, wrong data
+        verdict = check_sort(chunk, out, seed=11, comm=comm)
+        return verdict.accepted
+
+    verdicts = ctx.run(corrupted, per_rank_args=ctx.split(data))
+    print(f"corrupted sort: checker says {verdicts} (expect all False)")
+
+
+if __name__ == "__main__":
+    main()

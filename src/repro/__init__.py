@@ -1,0 +1,25 @@
+"""repro — communication-efficient checkers for big-data operations.
+
+A from-scratch Python reproduction of Hübschle-Schneider & Sanders,
+*Communication Efficient Checking of Big Data Operations* (IPDPS 2018):
+probabilistic result checkers for the collective operations of data-parallel
+frameworks (sum/average/min/median aggregation, sorting, permutation, union,
+merge, zip, group-by and join redistribution), together with the distributed
+substrate they run on (a simulated message-passing runtime and a mini-Thrill
+dataflow layer), fault-injection manipulators, and the paper's full
+experiment suite.
+
+See ``examples/quickstart.py`` for a guided tour.
+"""
+
+__version__ = "1.0.0"
+
+from repro.comm import Comm, Context, CostModel, SPMDError
+
+__all__ = [
+    "Comm",
+    "Context",
+    "CostModel",
+    "SPMDError",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Collective operations built from point-to-point messages.
+
+All schedules are the textbook binomial-tree / recursive-doubling algorithms
+the paper cites ([7] Bala et al., [8] Sanders–Speck–Träff, [9] Dietzfelbinger
+et al.): broadcast and reduction take ``⌈log2 p⌉`` communication rounds, so a
+collective on ``k`` bytes costs ``O(β·k + α·log p)`` — the ``T_coll`` of §2.
+All-to-all is provided both with direct delivery (``O(β·k + α·p)``) and
+hypercube indirect delivery (``O(β·k·log p + α·log p)``), matching
+``T_all-to-all`` of §2.
+
+Functions take the per-rank :class:`~repro.comm.communicator.Comm` handle;
+every PE of the group must call the same collective in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _actual(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def broadcast(comm, value: T, root: int = 0) -> T:
+    """Binomial-tree broadcast of ``value`` from ``root`` to every PE."""
+    p = comm.size
+    if p == 1:
+        return value
+    v = _vrank(comm.rank, root, p)
+    mask = 1
+    while mask < p:
+        if v < mask:
+            partner = v + mask
+            if partner < p:
+                comm.send(_actual(partner, root, p), value)
+        elif v < 2 * mask:
+            value = comm.recv(_actual(v - mask, root, p))
+        mask <<= 1
+    return value
+
+
+def reduce(comm, value: T, op: Callable[[T, T], T], root: int = 0) -> T | None:
+    """Binomial-tree reduction; the combined value lands at ``root``.
+
+    ``op`` must be associative and commutative (all reduce operators in this
+    repository are).  Non-root PEs return ``None``.
+    """
+    p = comm.size
+    if p == 1:
+        return value
+    v = _vrank(comm.rank, root, p)
+    mask = 1
+    while mask < p:
+        if v & mask:
+            comm.send(_actual(v - mask, root, p), value)
+            return None
+        partner = v + mask
+        if partner < p:
+            value = op(value, comm.recv(_actual(partner, root, p)))
+        mask <<= 1
+    return value
+
+
+def allreduce(comm, value: T, op: Callable[[T, T], T]) -> T:
+    """Reduction whose result is available at every PE (reduce + broadcast)."""
+    result = reduce(comm, value, op, root=0)
+    return broadcast(comm, result, root=0)
+
+
+def gather(comm, value: T, root: int = 0) -> list[T] | None:
+    """Binomial-tree gather; ``root`` returns ``[value_0, ..., value_{p-1}]``."""
+    p = comm.size
+    if p == 1:
+        return [value]
+    v = _vrank(comm.rank, root, p)
+    acc: dict[int, T] = {comm.rank: value}
+    mask = 1
+    while mask < p:
+        if v & mask:
+            comm.send(_actual(v - mask, root, p), acc)
+            return None
+        partner = v + mask
+        if partner < p:
+            acc.update(comm.recv(_actual(partner, root, p)))
+        mask <<= 1
+    return [acc[i] for i in range(p)]
+
+
+def allgather(comm, value: T) -> list[T]:
+    """Gather at PE 0 followed by a broadcast of the assembled list."""
+    gathered = gather(comm, value, root=0)
+    return broadcast(comm, gathered, root=0)
+
+
+def scan(comm, value: T, op: Callable[[T, T], T]) -> T:
+    """Inclusive prefix reduction (Hillis–Steele distributed scan).
+
+    PE i returns ``op(value_0, ..., value_i)`` in ``⌈log2 p⌉`` rounds.
+    """
+    p = comm.size
+    partial = value
+    distance = 1
+    while distance < p:
+        if comm.rank + distance < p:
+            comm.send(comm.rank + distance, partial)
+        if comm.rank - distance >= 0:
+            received = comm.recv(comm.rank - distance)
+            partial = op(received, partial)
+        distance <<= 1
+    return partial
+
+
+def exscan(comm, value: T, op: Callable[[T, T], T], identity: T) -> T:
+    """Exclusive prefix reduction: PE i gets ``op`` over ranks ``< i``."""
+    inclusive = scan(comm, value, op)
+    # Shift the inclusive prefixes one PE to the right.
+    if comm.rank + 1 < comm.size:
+        comm.send(comm.rank + 1, inclusive)
+    if comm.rank == 0:
+        return identity
+    return comm.recv(comm.rank - 1)
+
+
+def alltoall(comm, payloads: list) -> list:
+    """Direct-delivery all-to-all: ``payloads[j]`` goes to PE ``j``.
+
+    Returns the list of received payloads indexed by source PE.  Cost:
+    ``p - 1`` messages per PE (the ``α·p`` regime of §2).
+    """
+    p = comm.size
+    if len(payloads) != p:
+        raise ValueError(
+            f"alltoall needs exactly {p} payloads, got {len(payloads)}"
+        )
+    received: list = [None] * p
+    received[comm.rank] = payloads[comm.rank]
+    # Stagger the schedule so traffic spreads over partners round-robin.
+    for offset in range(1, p):
+        dst = (comm.rank + offset) % p
+        comm.send(dst, payloads[dst])
+    for offset in range(1, p):
+        src = (comm.rank - offset) % p
+        received[src] = comm.recv(src)
+    return received
+
+
+def alltoall_hypercube(comm, payloads: list) -> list:
+    """Hypercube indirect all-to-all (``log p`` rounds, store-and-forward).
+
+    Requires ``p`` to be a power of two.  Each round exchanges the items
+    whose destination differs in the current bit: ``O(β·k·log p + α·log p)``.
+    """
+    p = comm.size
+    if p & (p - 1):
+        raise ValueError(f"hypercube all-to-all needs a power-of-two p, got {p}")
+    if len(payloads) != p:
+        raise ValueError(
+            f"alltoall needs exactly {p} payloads, got {len(payloads)}"
+        )
+    # held[dst] = list of (src, payload) still travelling to dst.
+    held: dict[int, list] = {dst: [(comm.rank, payloads[dst])] for dst in range(p)}
+    bit = 1
+    while bit < p:
+        partner = comm.rank ^ bit
+        outgoing = {
+            dst: items for dst, items in held.items() if (dst ^ comm.rank) & bit
+        }
+        for dst in outgoing:
+            del held[dst]
+        comm.send(partner, outgoing)
+        incoming = comm.recv(partner)
+        for dst, items in incoming.items():
+            held.setdefault(dst, []).extend(items)
+        bit <<= 1
+    received: list = [None] * p
+    for src, payload in held[comm.rank]:
+        received[src] = payload
+    return received

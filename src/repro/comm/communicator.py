@@ -1,0 +1,79 @@
+"""Per-rank communicator handle — the mpi4py-flavoured SPMD API.
+
+Lower-case method names communicate arbitrary Python payloads, as in mpi4py;
+numpy arrays are metered by buffer size (the fast path a real implementation
+would take).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.comm import collectives
+from repro.comm.network import Network
+
+T = TypeVar("T")
+
+
+class Comm:
+    """Communication endpoint of one PE inside a :class:`Network`."""
+
+    def __init__(self, rank: int, network: Network):
+        self.rank = rank
+        self.network = network
+        self.size = network.size
+
+    # -- point to point ----------------------------------------------------
+    def send(self, dst: int, payload) -> None:
+        """Send ``payload`` to PE ``dst`` (asynchronous, always succeeds)."""
+        self.network.send(self.rank, dst, payload)
+
+    def recv(self, src: int):
+        """Blocking receive of the next message from PE ``src``."""
+        return self.network.recv(self.rank, src)
+
+    def sendrecv(self, partner: int, payload):
+        """Exchange payloads with ``partner`` (deadlock-free)."""
+        self.send(partner, payload)
+        return self.recv(partner)
+
+    def barrier(self) -> None:
+        """Synchronize all PEs."""
+        self.network.barrier()
+
+    # -- collectives ---------------------------------------------------------
+    def bcast(self, value: T, root: int = 0) -> T:
+        return collectives.broadcast(self, value, root)
+
+    def reduce(self, value: T, op: Callable[[T, T], T], root: int = 0):
+        return collectives.reduce(self, value, op, root)
+
+    def allreduce(self, value: T, op: Callable[[T, T], T]) -> T:
+        return collectives.allreduce(self, value, op)
+
+    def gather(self, value: T, root: int = 0):
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value: T) -> list[T]:
+        return collectives.allgather(self, value)
+
+    def scan(self, value: T, op: Callable[[T, T], T]) -> T:
+        return collectives.scan(self, value, op)
+
+    def exscan(self, value: T, op: Callable[[T, T], T], identity: T) -> T:
+        return collectives.exscan(self, value, op, identity)
+
+    def alltoall(self, payloads: list) -> list:
+        return collectives.alltoall(self, payloads)
+
+    def alltoall_hypercube(self, payloads: list) -> list:
+        return collectives.alltoall_hypercube(self, payloads)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def meter(self):
+        """This PE's traffic meter."""
+        return self.network.meters[self.rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Comm(rank={self.rank}, size={self.size})"

@@ -1,0 +1,127 @@
+"""SPMD execution context: run the same function on ``p`` simulated PEs.
+
+Each PE is a Python thread with its own :class:`~repro.comm.communicator.Comm`
+handle; threads communicate only through the metered mailbox network, so the
+programs written against this context are genuine message-passing programs
+(they run unchanged over any point-to-point transport).
+
+Usage::
+
+    ctx = Context(num_pes=4)
+    def program(comm, chunk):
+        total = comm.allreduce(int(chunk.sum()), op=lambda a, b: a + b)
+        return total
+    results = ctx.run(program, per_rank_args=ctx.split(data))
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Comm
+from repro.comm.cost import CostModel, TrafficMeter, bottleneck_volume
+from repro.comm.network import Network
+
+
+class SPMDError(RuntimeError):
+    """Raised when one or more PEs raised inside an SPMD program."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = failures
+        detail = "; ".join(
+            f"PE {rank}: {type(exc).__name__}: {exc}"
+            for rank, exc in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} PE(s) failed: {detail}")
+
+
+class Context:
+    """Runner for SPMD programs over a simulated network of ``num_pes`` PEs."""
+
+    def __init__(self, num_pes: int, cost_model: CostModel | None = None):
+        if num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {num_pes}")
+        self.num_pes = num_pes
+        self.cost_model = cost_model or CostModel()
+        self.last_network: Network | None = None
+
+    # -- data distribution helpers -------------------------------------------
+    def split(self, data: Sequence | np.ndarray) -> list:
+        """Split ``data`` into ``num_pes`` nearly equal contiguous chunks.
+
+        Mirrors the paper's input model: every PE holds O(n/p) elements.
+        """
+        if isinstance(data, np.ndarray):
+            return [np.ascontiguousarray(c) for c in np.array_split(data, self.num_pes)]
+        n = len(data)
+        bounds = [round(i * n / self.num_pes) for i in range(self.num_pes + 1)]
+        return [data[bounds[i] : bounds[i + 1]] for i in range(self.num_pes)]
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        per_rank_args: Sequence | None = None,
+        common_args: tuple = (),
+    ) -> list:
+        """Execute ``fn(comm, *args)`` on every PE; return per-rank results.
+
+        ``per_rank_args`` may be ``None`` (no per-rank argument), a list of
+        per-rank values, or a list of per-rank tuples (splatted).  Exceptions
+        on any PE are collected and re-raised as :class:`SPMDError`.
+        """
+        network = Network(self.num_pes, self.cost_model)
+        self.last_network = network
+        results: list = [None] * self.num_pes
+        failures: dict[int, BaseException] = {}
+
+        def worker(rank: int) -> None:
+            comm = Comm(rank, network)
+            args: tuple = ()
+            if per_rank_args is not None:
+                arg = per_rank_args[rank]
+                args = tuple(arg) if isinstance(arg, tuple) else (arg,)
+            try:
+                results[rank] = fn(comm, *args, *common_args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures[rank] = exc
+
+        if self.num_pes == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(rank,), daemon=True)
+                for rank in range(self.num_pes)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if failures:
+            raise SPMDError(failures)
+        return results
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def meters(self) -> list[TrafficMeter]:
+        """Traffic meters of the most recent :meth:`run`."""
+        if self.last_network is None:
+            return []
+        return self.last_network.meters
+
+    def traffic_summary(self) -> dict:
+        """Aggregate communication statistics of the most recent run."""
+        meters = self.meters
+        return {
+            "bottleneck_bytes": bottleneck_volume(meters),
+            "total_bytes": sum(m.bytes_sent for m in meters),
+            "total_messages": sum(m.messages_sent for m in meters),
+            "max_messages_per_pe": max(
+                (max(m.messages_sent, m.messages_received) for m in meters),
+                default=0,
+            ),
+            "model_time": max((m.model_time for m in meters), default=0.0),
+        }

@@ -1,0 +1,142 @@
+"""The α–β communication cost model and per-PE traffic accounting.
+
+§2 of the paper: *"sending a message of size m bits takes time α + βm, where
+α is the time to initiate a connection and β the time to send a single bit"*.
+The paper's optimization criterion is the **bottleneck communication
+volume** — the maximum amount of data sent or received at any single PE —
+because the slowest PE determines the running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Iterable
+
+import numpy as np
+
+
+def payload_nbytes(obj) -> int:
+    """Wire size in bytes of a message payload.
+
+    Numpy arrays count their buffer; Python scalars count one machine word
+    (w = 64 bits, as in the paper); containers count the sum of their
+    elements.  This is the size an MPI implementation would put on the wire
+    for typed data (no pickle overhead), which is what the paper's volume
+    analysis assumes.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, np.bool_)):
+        return 1
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    # Conservative fallback: a machine word.
+    return 8
+
+
+@dataclass
+class CostModel:
+    """Latency/bandwidth parameters of the simulated interconnect.
+
+    Defaults are in seconds and loosely modelled on a commodity cluster
+    (α ≈ 10 µs startup, β ≈ 1 ns/byte ≈ 8 Gbit/s effective); the scaling
+    experiment sweeps them.
+    """
+
+    alpha: float = 1.0e-5
+    beta_per_byte: float = 1.0e-9
+
+    def message_time(self, nbytes: int) -> float:
+        """Time for one point-to-point message of ``nbytes``."""
+        return self.alpha + self.beta_per_byte * nbytes
+
+    def t_coll(self, nbytes: int, p: int) -> float:
+        """Model time of a broadcast/(all-)reduction of ``nbytes`` (§2)."""
+        if p <= 1:
+            return 0.0
+        return self.beta_per_byte * nbytes + self.alpha * ceil(log2(p))
+
+    def t_all_to_all(self, nbytes: int, p: int, direct: bool = True) -> float:
+        """Model time of an all-to-all exchange of ``nbytes`` per PE (§2)."""
+        if p <= 1:
+            return 0.0
+        if direct:
+            return self.beta_per_byte * nbytes + self.alpha * p
+        rounds = ceil(log2(p))
+        return self.beta_per_byte * nbytes * rounds + self.alpha * rounds
+
+
+@dataclass
+class TrafficMeter:
+    """Per-PE communication accounting.
+
+    ``model_time`` accumulates ``α + β·m`` for every message this PE sends
+    *or* receives (single-ported assumption: both directions occupy the PE).
+    """
+
+    rank: int
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    send_time: float = 0.0
+    recv_time: float = 0.0
+    _marks: dict = field(default_factory=dict)
+
+    def record_send(self, nbytes: int, cost: CostModel) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.send_time += cost.message_time(nbytes)
+
+    def record_recv(self, nbytes: int, cost: CostModel) -> None:
+        self.bytes_received += nbytes
+        self.messages_received += 1
+        self.recv_time += cost.message_time(nbytes)
+
+    @property
+    def volume(self) -> int:
+        """max(sent, received): single-ported full-duplex bottleneck bytes."""
+        return max(self.bytes_sent, self.bytes_received)
+
+    @property
+    def model_time(self) -> float:
+        return max(self.send_time, self.recv_time)
+
+    def mark(self, label: str) -> None:
+        """Snapshot counters under ``label`` (used to meter one phase)."""
+        self._marks[label] = (
+            self.bytes_sent,
+            self.bytes_received,
+            self.messages_sent,
+            self.messages_received,
+        )
+
+    def since(self, label: str) -> dict:
+        """Traffic since :meth:`mark` was called with ``label``."""
+        if label not in self._marks:
+            raise KeyError(f"no mark named {label!r}")
+        s0, r0, ms0, mr0 = self._marks[label]
+        return {
+            "bytes_sent": self.bytes_sent - s0,
+            "bytes_received": self.bytes_received - r0,
+            "messages_sent": self.messages_sent - ms0,
+            "messages_received": self.messages_received - mr0,
+        }
+
+
+def bottleneck_volume(meters: Iterable[TrafficMeter]) -> int:
+    """The paper's optimization target: max over PEs of bytes sent/received."""
+    return max((m.volume for m in meters), default=0)

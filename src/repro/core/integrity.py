@@ -1,0 +1,56 @@
+"""Result integrity (§2): are all PEs holding the same replicated data?
+
+*"When the output of an operation or a certificate is provided at all PEs
+rather than in distributed form, we need to ensure that all PEs received
+the same output or certificate.  This can be achieved by hashing the data
+in question with a random hash function, and comparing the hash values of
+all other PEs ... by broadcasting the hash of PE 0, which every PE can
+compare to its own hash, and aborting if any PE reports a difference."*
+
+Used by the min/max and median checkers (their results and certificates are
+fully replicated); exposed as a standalone utility because frameworks need
+it for any broadcast result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.hashing.crc32c import crc32c_bytes
+from repro.util.rng import derive_seed
+
+
+def replicated_digest(seed: int, *arrays) -> int:
+    """Seeded content hash of a tuple of arrays (order-sensitive).
+
+    The seed draws a fresh function per check so a corrupted replica cannot
+    be engineered to collide across runs.
+    """
+    state = derive_seed(seed, "result-integrity") & 0xFFFFFFFF
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        state = crc32c_bytes(arr.tobytes(), state)
+        state = crc32c_bytes(str(arr.dtype).encode(), state)
+        state = crc32c_bytes(str(arr.shape).encode(), state)
+    return state
+
+
+def check_replicated(comm, *arrays, seed: int = 0) -> CheckResult:
+    """All PEs hold identical copies of ``arrays``? O(k + α log p).
+
+    PE 0's digest is broadcast; each PE compares locally; an AND-reduction
+    collects the verdict (the paper's "aborting if any PE reports a
+    difference").  Sequential (``comm is None``) is trivially true.
+    """
+    digest = replicated_digest(seed, *arrays)
+    if comm is None:
+        return CheckResult(True, "result-integrity", {"pes": 1})
+    root_digest = comm.bcast(digest, root=0)
+    same = digest == root_digest
+    all_same = comm.allreduce(bool(same), op=lambda a, b: a and b)
+    return CheckResult(
+        accepted=bool(all_same),
+        checker="result-integrity",
+        details={"pes": comm.size, "local_match": bool(same)},
+    )

@@ -1,0 +1,221 @@
+"""Minimum/maximum aggregation checker (§6.2, Theorem 9) — deterministic.
+
+Min/max cannot use the §4 machinery because ``min(a, b) = a`` for b ≥ a
+violates Theorem 1's requirement.  The paper's checker needs
+
+* the full asserted result ``M : key → min`` at **every** PE, and
+* a certificate naming, for every key, a PE that holds the minimum.
+
+Each PE then verifies (a) no local element undercuts its key's asserted
+minimum, and (b) every key assigned to it by the certificate has a local
+element *equal* to the asserted minimum.  The certificate's full replication
+ensures no key can be silently "forgotten".  Because both directions are
+checked exhaustively, the checker is deterministic: it never accepts an
+incorrect result.  Cost: O(n/p + α log p) (plus the §2 result-integrity
+hash comparison ensuring all PEs saw the same result/certificate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.core.integrity import replicated_digest as _digest
+from repro.core.sum_checker import _coerce_keys
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _check_extremum(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    comm,
+    seed: int,
+    sign: int,
+    name: str,
+) -> CheckResult:
+    in_keys = _coerce_keys(input_kv[0])
+    in_values = sign * np.asarray(input_kv[1], dtype=np.int64).ravel()
+    keys = _coerce_keys(asserted_keys)
+    values = sign * np.asarray(asserted_values, dtype=np.int64).ravel()
+    owners = np.asarray(certificate_owners, dtype=np.int64).ravel()
+    if not (keys.size == values.size == owners.size):
+        raise ValueError("asserted keys, values and certificate must align")
+
+    rank = comm.rank if comm is not None else 0
+    size = comm.size if comm is not None else 1
+
+    # Result integrity (§2): all PEs must hold identical result+certificate.
+    integrity_ok = True
+    if comm is not None:
+        digest = _digest(seed, keys, values, owners)
+        root_digest = comm.bcast(digest, root=0)
+        integrity_ok = digest == root_digest
+
+    # Index the asserted result by sorted key for O(log k) lookups.
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    duplicate_keys = bool(
+        sorted_keys.size > 1 and np.any(sorted_keys[:-1] == sorted_keys[1:])
+    )
+
+    ok = (
+        integrity_ok
+        and not duplicate_keys
+        and bool(np.all((owners >= 0) & (owners < size)))
+    )
+    if ok and in_keys.size:
+        # (a) every input key appears in the result, and no local element
+        #     undercuts its key's asserted minimum.
+        if sorted_keys.size == 0:
+            ok = False  # input has keys the result "forgot"
+        else:
+            pos = np.searchsorted(sorted_keys, in_keys)
+            clipped = np.minimum(pos, sorted_keys.size - 1)
+            known = (pos < sorted_keys.size) & (sorted_keys[clipped] == in_keys)
+            ok = bool(np.all(known)) and bool(
+                np.all(in_values >= sorted_values[clipped])
+            )
+    if ok:
+        # (b) for keys this PE owns per the certificate, the asserted
+        #     minimum must actually occur locally.
+        local_min = np.full(sorted_keys.size, _INT64_MAX, dtype=np.int64)
+        if in_keys.size:
+            pos = np.searchsorted(sorted_keys, in_keys)
+            np.minimum.at(local_min, pos, in_values)
+        owned = owners[order] == rank
+        ok = bool(np.all(local_min[owned] == sorted_values[owned]))
+
+    if comm is not None:
+        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+
+    return CheckResult(
+        accepted=bool(ok),
+        checker=name,
+        details={
+            "deterministic": True,
+            "certificate": "owner PE per key, replicated at all PEs",
+            "integrity_ok": bool(integrity_ok),
+        },
+    )
+
+
+def check_min_aggregation(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    comm=None,
+    seed: int = 0,
+) -> CheckResult:
+    """Theorem 9: deterministic check of per-key minima.
+
+    ``asserted_keys/values`` must be the *full* result, identical at every
+    PE; ``certificate_owners[i]`` names a PE holding the minimum of key i.
+    """
+    return _check_extremum(
+        input_kv,
+        asserted_keys,
+        asserted_values,
+        certificate_owners,
+        comm,
+        seed,
+        sign=+1,
+        name="min-aggregation",
+    )
+
+
+def check_max_aggregation(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    comm=None,
+    seed: int = 0,
+) -> CheckResult:
+    """Theorem 9 for maxima (w.l.o.g. via negation)."""
+    return _check_extremum(
+        input_kv,
+        asserted_keys,
+        asserted_values,
+        certificate_owners,
+        comm,
+        seed,
+        sign=-1,
+        name="max-aggregation",
+    )
+
+
+def check_min_aggregation_bitvector(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    comm=None,
+    seed: int = 0,
+) -> CheckResult:
+    """Certificate-free min checker with O(βk) communication (§6.2).
+
+    The paper notes property (b) — "the minimum value does indeed appear in
+    the input" — is *"easy to verify in time O(n/p + βk + α log p) using a
+    bitwise-or reduction on a bitvector of size k specifying which keys'
+    minima are present locally, and testing whether each bit is set"*.
+    This is that checker: no owner certificate needed, deterministic, but
+    the communication volume grows linearly with the number of keys k —
+    exactly the cost the certificate of Theorem 9 avoids.
+    """
+    in_keys = _coerce_keys(input_kv[0])
+    in_values = np.asarray(input_kv[1], dtype=np.int64).ravel()
+    keys = _coerce_keys(asserted_keys)
+    values = np.asarray(asserted_values, dtype=np.int64).ravel()
+    if keys.size != values.size:
+        raise ValueError("asserted keys and values must align")
+
+    integrity_ok = True
+    if comm is not None:
+        digest = _digest(seed, keys, values)
+        integrity_ok = digest == comm.bcast(digest, root=0)
+
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    duplicate_keys = bool(
+        sorted_keys.size > 1 and np.any(sorted_keys[:-1] == sorted_keys[1:])
+    )
+
+    ok = integrity_ok and not duplicate_keys
+    present = np.zeros(sorted_keys.size, dtype=np.uint8)
+    if ok and in_keys.size:
+        if sorted_keys.size == 0:
+            ok = False
+        else:
+            pos = np.searchsorted(sorted_keys, in_keys)
+            clipped = np.minimum(pos, sorted_keys.size - 1)
+            known = (pos < sorted_keys.size) & (sorted_keys[clipped] == in_keys)
+            # (a) no element undercuts its key's asserted minimum.
+            ok = bool(np.all(known)) and bool(
+                np.all(in_values >= sorted_values[clipped])
+            )
+            if ok:
+                hit = in_values == sorted_values[clipped]
+                np.bitwise_or.at(present, clipped[hit], np.uint8(1))
+
+    if comm is not None:
+        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+        # The O(βk) step: OR-reduce the per-key presence bitvector.
+        packed = np.packbits(present)
+        combined = comm.allreduce(packed, op=np.bitwise_or)
+        present = np.unpackbits(combined, count=present.size)
+    verdict = ok and bool(np.all(present == 1))
+    return CheckResult(
+        accepted=bool(verdict),
+        checker="min-aggregation-bitvector",
+        details={
+            "deterministic": True,
+            "certificate": None,
+            "communication": "O(k) bits per PE (bitvector OR-reduction)",
+            "integrity_ok": bool(integrity_ok),
+        },
+    )

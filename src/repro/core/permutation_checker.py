@@ -1,0 +1,284 @@
+"""Permutation checkers (§5): hash-sum, polynomial, and GF(2^64) variants.
+
+**Hash-sum (Lemma 4, Wegman–Carter).**  Compare ``Σ h(e_i)`` with
+``Σ h(o_i)`` for a random hash ``h``.  The paper's inline TODO notes the
+mod-H version breaks for multisets with repeated elements and proposes the
+fix we implement: *drop the modulo* — add 32-bit (here: up to 64-bit
+truncated) hash values in wide integers, so multiplicities enter the sum
+exactly.  For an element ``e`` occurring ``k`` times in E and ``k' < k``
+times in O, equality requires ``h(e) = (h(O∖e) − h(E∖e))/(k−k')``, a single
+value independent of ``h(e)`` — probability ≤ 1/H (the paper's margin
+argument).
+
+**Polynomial (Lemma 5, Lipton).**  ``q(z) = Π(z−e_i) − Π(z−o_i) mod r`` for
+a prime ``r > max(n/δ, U−1)``; q is the zero polynomial iff the multisets
+match, else it has ≤ n roots, so a random evaluation point exposes the
+difference with probability ≥ 1 − n/r.  No trust in a hash function needed.
+
+**GF(2^64) (§5 remark).**  Same polynomial identity over the carry-less
+field GF(2^64) (the ``PCLMULQDQ`` trick of Plank et al.); failure ≤ n/2^64
+per iteration.
+
+All three run distributed: each PE fingerprints its local slice in O(n/p),
+and one all-reduction of a single word per iteration combines the
+fingerprints — ``O((n/(p·w) + β) log 1/δ + α log p)`` (Theorem 6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.hashing.families import get_family
+from repro.hashing.gf2 import gf64_mul, gf64_product
+from repro.hashing.primes import random_prime_in_range
+from repro.util.rng import derive_seed, uniform_below
+
+_CHUNK = 1 << 30  # sums of < 2^30 values below 2^32 stay within int64
+
+
+def wide_sum(arr: np.ndarray) -> int:
+    """Exact (arbitrary-precision) sum of an unsigned integer array.
+
+    This is the paper's multiset fix: 32-bit halves are accumulated in
+    64-bit lanes per chunk and the chunk totals are combined as Python ints,
+    so no wrap-around ever occurs regardless of n.
+    """
+    arr = np.asarray(arr, dtype=np.uint64).ravel()
+    total = 0
+    for start in range(0, arr.size, _CHUNK):
+        part = arr[start : start + _CHUNK]
+        lo = (part & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        hi = (part >> np.uint64(32)).astype(np.int64)
+        total += int(lo.sum()) + (int(hi.sum()) << 32)
+    return total
+
+
+def _as_sequences(side) -> list[np.ndarray]:
+    """Normalise one side of a comparison into a list of uint64 arrays.
+
+    A side may be a single array or a list of arrays — the latter supports
+    the Union/Merge checkers, which compare ``concat(S1, S2)`` against ``S``
+    without materialising the concatenation.
+    """
+    if isinstance(side, (list, tuple)) and not (
+        len(side) == 2 and np.isscalar(side[0])
+    ):
+        seqs = list(side)
+    else:
+        seqs = [side]
+    out = []
+    for seq in seqs:
+        arr = np.asarray(seq)
+        if arr.dtype.kind == "i":
+            arr = arr.astype(np.int64).view(np.uint64)
+        else:
+            arr = arr.astype(np.uint64)
+        out.append(arr.ravel())
+    return out
+
+
+class HashSumPermutationChecker:
+    """Seeded hash-sum fingerprint (Lemma 4 with the wide-sum multiset fix).
+
+    ``iterations`` independent hash functions from ``hash_family``, each
+    truncated to ``log_h`` bits, boost the detection probability to
+    ``1 − 2^(−log_h · iterations)`` per differing multiset (Theorem 6).
+    """
+
+    def __init__(
+        self,
+        iterations: int = 2,
+        hash_family: str = "Mix",
+        log_h: int = 32,
+        seed: int = 0,
+    ):
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        family = get_family(hash_family)
+        if not 1 <= log_h <= family.bits:
+            raise ValueError(
+                f"log_h={log_h} out of range for {family.name} "
+                f"({family.bits} output bits)"
+            )
+        self.iterations = iterations
+        self.log_h = log_h
+        self.hash_family = hash_family
+        self.seed = seed
+        self._functions = [
+            family.instance(derive_seed(seed, "perm-checker", j))
+            for j in range(iterations)
+        ]
+        self._mask = np.uint64((1 << log_h) - 1)
+
+    @property
+    def failure_bound(self) -> float:
+        """Per-check acceptance bound for an unequal multiset pair."""
+        return float(2.0 ** (-self.log_h * self.iterations))
+
+    def fingerprint(self, side) -> list[int]:
+        """Per-iteration wide hash sums over one side's sequence(s)."""
+        seqs = _as_sequences(side)
+        fps = []
+        for fn in self._functions:
+            total = 0
+            for seq in seqs:
+                hashed = fn.hash_array(seq) & self._mask
+                total += wide_sum(hashed)
+            fps.append(total)
+        return fps
+
+    def lambda_values(self, e_side, o_side) -> list[int]:
+        """λ_j = Σ h_j(e) − Σ h_j(o) per iteration (zero ⇔ accept)."""
+        fe = self.fingerprint(e_side)
+        fo = self.fingerprint(o_side)
+        return [a - b for a, b in zip(fe, fo)]
+
+    def check(self, e_side, o_side, comm=None) -> CheckResult:
+        """Accept iff every λ_j is zero; distributed when ``comm`` given."""
+        lambdas = self.lambda_values(e_side, o_side)
+        if comm is not None:
+            lambdas = comm.allreduce(
+                lambdas, op=lambda a, b: [x + y for x, y in zip(a, b)]
+            )
+        detecting = [j for j, lam in enumerate(lambdas) if lam != 0]
+        return CheckResult(
+            accepted=not detecting,
+            checker="permutation-hashsum",
+            details={
+                "iterations": self.iterations,
+                "log_h": self.log_h,
+                "hash_family": self.hash_family,
+                "detecting_iterations": detecting,
+            },
+        )
+
+
+def check_permutation_hashsum(
+    e_side,
+    o_side,
+    iterations: int = 2,
+    hash_family: str = "Mix",
+    log_h: int = 32,
+    seed: int = 0,
+    comm=None,
+) -> CheckResult:
+    """Convenience wrapper over :class:`HashSumPermutationChecker`."""
+    checker = HashSumPermutationChecker(iterations, hash_family, log_h, seed)
+    return checker.check(e_side, o_side, comm)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 5: polynomial identity testing over F_r
+# ---------------------------------------------------------------------------
+
+
+def _mod_product(values: np.ndarray, z: int, r: int) -> int:
+    """``Π (z − v_i) mod r`` — vectorized tree product when residues fit."""
+    values = np.asarray(values, dtype=np.uint64).ravel()
+    if values.size == 0:
+        return 1
+    if r <= (1 << 31):
+        # Residues < 2^31 → pairwise products < 2^62 fit in int64.
+        residues = (values % np.uint64(r)).astype(np.int64)
+        terms = (np.int64(z) - residues) % np.int64(r)
+        while terms.size > 1:
+            half = terms.size // 2
+            merged = (terms[:half] * terms[half : 2 * half]) % np.int64(r)
+            if terms.size % 2:
+                merged = np.concatenate([merged, terms[-1:]])
+            terms = merged
+        return int(terms[0])
+    product = 1
+    for v in values.tolist():
+        product = (product * ((z - v) % r)) % r
+    return product
+
+
+def check_permutation_polynomial(
+    e_side,
+    o_side,
+    delta: float = 2.0**-30,
+    universe: int = 1 << 32,
+    seed: int = 0,
+    comm=None,
+    total_n: int | None = None,
+) -> CheckResult:
+    """Lemma 5: compare ``Π(z−e_i)`` and ``Π(z−o_i)`` in F_r at random z.
+
+    ``universe`` must exceed every element (so no two distinct elements
+    collide mod r); ``total_n`` is the global sequence length (computed via
+    an all-reduction when running distributed and left unset).
+    """
+    e_seqs = _as_sequences(e_side)
+    o_seqs = _as_sequences(o_side)
+    local_n = sum(s.size for s in e_seqs)
+    if comm is not None:
+        n = comm.allreduce(local_n, op=lambda a, b: a + b)
+    else:
+        n = total_n if total_n is not None else local_n
+    n = max(n, 1)
+    bound = max(int(n / delta) + 1, universe - 1, 3)
+    # Bertrand: a prime exists in (bound, 2·bound]; seeded random choice.
+    r = random_prime_in_range(bound + 1, 2 * bound, derive_seed(seed, "poly-r"))
+    z = uniform_below(derive_seed(seed, "poly-z"), r)
+    prod_e = 1
+    for seq in e_seqs:
+        prod_e = (prod_e * _mod_product(seq, z, r)) % r
+    prod_o = 1
+    for seq in o_seqs:
+        prod_o = (prod_o * _mod_product(seq, z, r)) % r
+    if comm is not None:
+        prod_e, prod_o = comm.allreduce(
+            (prod_e, prod_o),
+            op=lambda a, b: ((a[0] * b[0]) % r, (a[1] * b[1]) % r),
+        )
+    return CheckResult(
+        accepted=prod_e == prod_o,
+        checker="permutation-polynomial",
+        details={"prime": r, "eval_point": z, "n": n, "delta": delta},
+    )
+
+
+# ---------------------------------------------------------------------------
+# GF(2^64) variant
+# ---------------------------------------------------------------------------
+
+
+def check_permutation_gf64(
+    e_side,
+    o_side,
+    iterations: int = 1,
+    seed: int = 0,
+    comm=None,
+) -> CheckResult:
+    """Polynomial identity test over GF(2^64) (carry-less field).
+
+    Failure probability ≤ n / 2^64 per iteration; subtraction in the field
+    is XOR, so the factors are ``z XOR e_i``.
+    """
+    e_seqs = _as_sequences(e_side)
+    o_seqs = _as_sequences(o_side)
+    mismatched = []
+    for j in range(iterations):
+        z = np.uint64(derive_seed(seed, "gf64-z", j))
+        prod_e = 1
+        for seq in e_seqs:
+            prod_e = gf64_mul(prod_e, gf64_product(seq ^ z))
+        prod_o = 1
+        for seq in o_seqs:
+            prod_o = gf64_mul(prod_o, gf64_product(seq ^ z))
+        if comm is not None:
+            prod_e, prod_o = comm.allreduce(
+                (prod_e, prod_o),
+                op=lambda a, b: (gf64_mul(a[0], b[0]), gf64_mul(a[1], b[1])),
+            )
+        if prod_e != prod_o:
+            mismatched.append(j)
+    return CheckResult(
+        accepted=not mismatched,
+        checker="permutation-gf64",
+        details={"iterations": iterations, "detecting_iterations": mismatched},
+    )

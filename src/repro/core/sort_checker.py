@@ -1,0 +1,112 @@
+"""Sort checker (§5, Theorem 7): permutation + global sortedness.
+
+After establishing the permutation property (Theorem 6), sortedness needs
+only O(n/p) local work plus one boundary message per PE: each PE transmits
+its locally smallest element to the preceding PE, which compares it to its
+local maximum; a final AND-reduction collects the verdicts.
+
+Empty local sequences (legal under the O(n/p) distribution model) are
+handled with a prefix-maximum scan instead of the neighbour exchange — the
+running maximum over all preceding PEs is exactly what the local minimum
+must dominate, whether or not neighbours hold data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.core.permutation_checker import (
+    check_permutation_gf64,
+    check_permutation_hashsum,
+    check_permutation_polynomial,
+)
+
+_NEG_INF = None  # identity of the max-scan (no predecessor data)
+
+
+def _max_op(a, b):
+    if a is _NEG_INF:
+        return b
+    if b is _NEG_INF:
+        return a
+    return max(a, b)
+
+
+def locally_sorted(values: np.ndarray) -> bool:
+    """Non-decreasing order of one PE's local slice, O(n/p)."""
+    values = np.asarray(values)
+    if values.size <= 1:
+        return True
+    return bool(np.all(values[:-1] <= values[1:]))
+
+
+def check_globally_sorted(values, comm=None) -> CheckResult:
+    """Is the (distributed) concatenation of local slices sorted?
+
+    Sequential when ``comm`` is None.  Distributed: local sortedness check,
+    an exclusive max-scan replacing the paper's neighbour exchange (same
+    O(α log p) cost, robust to empty PEs), and an AND-reduction of verdicts.
+    """
+    values = np.asarray(values)
+    ok = locally_sorted(values)
+    if comm is not None:
+        local_max = int(values[-1]) if values.size else _NEG_INF
+        prev_max = comm.exscan(local_max, _max_op, identity=_NEG_INF)
+        if ok and values.size and prev_max is not _NEG_INF:
+            ok = int(values[0]) >= prev_max
+        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+    return CheckResult(
+        accepted=bool(ok),
+        checker="sortedness",
+        details={},
+    )
+
+
+def check_sort(
+    e_values,
+    o_values,
+    method: str = "hashsum",
+    iterations: int = 2,
+    hash_family: str = "Mix",
+    log_h: int = 32,
+    seed: int = 0,
+    comm=None,
+    delta: float = 2.0**-30,
+    universe: int = 1 << 32,
+) -> CheckResult:
+    """Theorem 7: ``o_values`` is a sorted permutation of ``e_values``.
+
+    ``method`` selects the permutation fingerprint: ``"hashsum"`` (Lemma 4),
+    ``"polynomial"`` (Lemma 5) or ``"gf64"``.
+    """
+    if method == "hashsum":
+        perm = check_permutation_hashsum(
+            e_values,
+            o_values,
+            iterations=iterations,
+            hash_family=hash_family,
+            log_h=log_h,
+            seed=seed,
+            comm=comm,
+        )
+    elif method == "polynomial":
+        perm = check_permutation_polynomial(
+            e_values, o_values, delta=delta, universe=universe, seed=seed, comm=comm
+        )
+    elif method == "gf64":
+        perm = check_permutation_gf64(
+            e_values, o_values, iterations=iterations, seed=seed, comm=comm
+        )
+    else:
+        raise ValueError(f"unknown permutation method {method!r}")
+    sortedness = check_globally_sorted(o_values, comm=comm)
+    return CheckResult(
+        accepted=perm.accepted and sortedness.accepted,
+        checker="sort",
+        details={
+            "permutation": perm.details | {"accepted": perm.accepted},
+            "sorted": sortedness.accepted,
+            "method": method,
+        },
+    )

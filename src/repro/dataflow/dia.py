@@ -1,0 +1,222 @@
+"""DIA — a chainable, Thrill-flavoured API over the dataflow operations.
+
+Thrill programs chain *distributed immutable arrays* (DIAs) through
+operations; this module offers the same ergonomics on top of the functional
+ops layer, including ``*_checked`` variants that return the operation's
+result together with the checker verdict:
+
+    def program(comm, chunk):
+        dia = DIA(comm, chunk)
+        out, verdict = dia.sort_checked(seed=1)
+        assert verdict.accepted
+        return out.collect_local()
+
+Single-column data lives in :class:`DIA`; key-value data in
+:class:`KeyValueDIA`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.core.params import SumCheckConfig
+from repro.core.sort_checker import check_sort
+from repro.core.sum_checker import check_sum_aggregation
+from repro.core.union_checker import check_union
+from repro.core.merge_checker import check_merge
+from repro.core.zip_checker import check_zip
+from repro.core.groupby_checker import (
+    check_groupby_redistribution,
+    default_partitioner,
+)
+from repro.dataflow.ops.group_by_key import group_by_key
+from repro.dataflow.ops.map_filter import filter_elements, map_elements, map_pairs
+from repro.dataflow.ops.merge import merge_sorted
+from repro.dataflow.ops.reduce_by_key import reduce_by_key
+from repro.dataflow.ops.sort import sample_sort
+from repro.dataflow.ops.union import union_arrays
+from repro.dataflow.ops.zip_op import zip_arrays
+
+_DEFAULT_CONFIG = SumCheckConfig(iterations=8, d=16, rhat=1 << 15)
+
+
+class DIA:
+    """One PE's handle on a distributed immutable array (single column)."""
+
+    def __init__(self, comm, local):
+        self.comm = comm
+        self.local = np.asarray(local)
+
+    # -- local (communication-free) ------------------------------------------
+    def map(self, fn: Callable) -> "DIA":
+        """Vectorized element transform."""
+        return DIA(self.comm, map_elements(self.local, fn))
+
+    def filter(self, predicate: Callable) -> "DIA":
+        """Vectorized element filter."""
+        return DIA(self.comm, filter_elements(self.local, predicate))
+
+    def size(self) -> int:
+        """Global element count (one all-reduction)."""
+        n = int(self.local.size)
+        if self.comm is None:
+            return n
+        return self.comm.allreduce(n, op=lambda a, b: a + b)
+
+    def collect_local(self) -> np.ndarray:
+        """This PE's local slice."""
+        return self.local
+
+    def collect(self) -> np.ndarray:
+        """The full array, assembled at every PE (expensive; debugging)."""
+        if self.comm is None:
+            return self.local.copy()
+        pieces = self.comm.allgather(self.local)
+        return np.concatenate(pieces)
+
+    # -- distributed operations ----------------------------------------------
+    def sort(self) -> "DIA":
+        return DIA(self.comm, sample_sort(self.comm, self.local))
+
+    def sort_checked(self, seed: int = 0, **kwargs) -> tuple["DIA", CheckResult]:
+        """Sort + Theorem 7 checker; returns (sorted DIA, verdict)."""
+        out = sample_sort(self.comm, self.local)
+        verdict = check_sort(self.local, out, seed=seed, comm=self.comm, **kwargs)
+        return DIA(self.comm, out), verdict
+
+    def union(self, other: "DIA") -> "DIA":
+        return DIA(self.comm, union_arrays(self.comm, self.local, other.local))
+
+    def union_checked(
+        self, other: "DIA", seed: int = 0, **kwargs
+    ) -> tuple["DIA", CheckResult]:
+        """Union + Corollary 12 checker."""
+        out = union_arrays(self.comm, self.local, other.local)
+        verdict = check_union(
+            self.local, other.local, out, seed=seed, comm=self.comm, **kwargs
+        )
+        return DIA(self.comm, out), verdict
+
+    def merge(self, other: "DIA") -> "DIA":
+        return DIA(self.comm, merge_sorted(self.comm, self.local, other.local))
+
+    def merge_checked(
+        self, other: "DIA", seed: int = 0, **kwargs
+    ) -> tuple["DIA", CheckResult]:
+        """Merge + Corollary 13 checker."""
+        out = merge_sorted(self.comm, self.local, other.local)
+        verdict = check_merge(
+            self.local, other.local, out, seed=seed, comm=self.comm, **kwargs
+        )
+        return DIA(self.comm, out), verdict
+
+    def zip(self, other: "DIA") -> "KeyValueDIA":
+        first, second = zip_arrays(self.comm, self.local, other.local)
+        return KeyValueDIA(self.comm, first, second)
+
+    def zip_checked(
+        self, other: "DIA", seed: int = 0, iterations: int = 2
+    ) -> tuple["KeyValueDIA", CheckResult]:
+        """Zip + Theorem 11 checker."""
+        first, second = zip_arrays(self.comm, self.local, other.local)
+        verdict = check_zip(
+            self.local,
+            other.local,
+            first,
+            second,
+            iterations=iterations,
+            seed=seed,
+            comm=self.comm,
+        )
+        return KeyValueDIA(self.comm, first, second), verdict
+
+    def with_values(self, values) -> "KeyValueDIA":
+        """Pair this column (as keys) with a values column."""
+        return KeyValueDIA(self.comm, self.local, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rank = self.comm.rank if self.comm is not None else 0
+        return f"DIA(rank={rank}, local_size={self.local.size})"
+
+
+class KeyValueDIA:
+    """One PE's handle on a distributed array of (key, value) pairs."""
+
+    def __init__(self, comm, keys, values):
+        self.comm = comm
+        self.keys = np.asarray(keys)
+        self.values = np.asarray(values)
+        if self.keys.shape != self.values.shape:
+            raise ValueError(
+                f"keys and values must align: {self.keys.shape} vs "
+                f"{self.values.shape}"
+            )
+
+    # -- local ------------------------------------------------------------
+    def map_pairs(self, fn: Callable) -> "KeyValueDIA":
+        k, v = map_pairs(self.keys, self.values, fn)
+        return KeyValueDIA(self.comm, k, v)
+
+    def filter_pairs(self, predicate: Callable) -> "KeyValueDIA":
+        mask = np.asarray(predicate(self.keys, self.values), dtype=bool)
+        return KeyValueDIA(self.comm, self.keys[mask], self.values[mask])
+
+    def collect_local(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.keys, self.values
+
+    # -- distributed ----------------------------------------------------------
+    def reduce_by_key(self, partitioner=None) -> "KeyValueDIA":
+        k, v = reduce_by_key(self.comm, self.keys, self.values, partitioner)
+        return KeyValueDIA(self.comm, k, v)
+
+    def reduce_by_key_checked(
+        self,
+        config: SumCheckConfig | None = None,
+        seed: int = 0,
+        partitioner=None,
+    ) -> tuple["KeyValueDIA", CheckResult]:
+        """ReduceByKey + Theorem 1 checker."""
+        k, v = reduce_by_key(self.comm, self.keys, self.values, partitioner)
+        verdict = check_sum_aggregation(
+            (self.keys, self.values),
+            (k, v),
+            config or _DEFAULT_CONFIG,
+            seed=seed,
+            comm=self.comm,
+        )
+        return KeyValueDIA(self.comm, k, v), verdict
+
+    def group_by_key(self, partitioner=None):
+        """Returns (unique keys, list of per-key value arrays)."""
+        return group_by_key(self.comm, self.keys, self.values, partitioner)
+
+    def group_by_key_checked(
+        self, seed: int = 0, partitioner=None, **kwargs
+    ) -> tuple[tuple, CheckResult]:
+        """GroupByKey + Corollary 14 (invasive redistribution) checker."""
+        if partitioner is None:
+            size = self.comm.size if self.comm is not None else 1
+            partitioner = default_partitioner(size)
+        uk, groups, post = group_by_key(
+            self.comm,
+            self.keys,
+            self.values,
+            partitioner=partitioner,
+            return_exchange=True,
+        )
+        verdict = check_groupby_redistribution(
+            (self.keys, self.values),
+            post,
+            partitioner,
+            comm=self.comm,
+            seed=seed,
+            **kwargs,
+        )
+        return (uk, groups), verdict
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rank = self.comm.rank if self.comm is not None else 0
+        return f"KeyValueDIA(rank={rank}, local_size={self.keys.size})"

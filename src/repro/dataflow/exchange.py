@@ -1,0 +1,49 @@
+"""Data exchange primitives shared by the dataflow operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def global_offset(comm, local_count: int) -> int:
+    """This PE's starting index in the global concatenation order."""
+    if comm is None:
+        return 0
+    return comm.exscan(local_count, op=lambda a, b: a + b, identity=0)
+
+
+def exchange_by_destination(comm, destinations: np.ndarray, *columns):
+    """Route each row to the PE named by ``destinations`` (all-to-all).
+
+    ``columns`` are aligned arrays; returns the received columns, rows
+    concatenated in source-PE order (stable within a source).  Sequential
+    (``comm is None``) requires every destination to be 0 and is an
+    identity.
+    """
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if comm is None:
+        if destinations.size and (destinations != 0).any():
+            raise ValueError("sequential exchange cannot route to other PEs")
+        return tuple(np.array(c, copy=True) for c in columns)
+    p = comm.size
+    if destinations.size and (
+        destinations.min() < 0 or destinations.max() >= p
+    ):
+        raise ValueError("destination rank out of range")
+    order = np.argsort(destinations, kind="stable")
+    sorted_dest = destinations[order]
+    bounds = np.searchsorted(sorted_dest, np.arange(p + 1))
+    payloads = []
+    for r in range(p):
+        rows = order[bounds[r] : bounds[r + 1]]
+        payloads.append(tuple(np.ascontiguousarray(c[rows]) for c in columns))
+    received = comm.alltoall(payloads)
+    out = []
+    for col_idx, col in enumerate(columns):
+        parts = [received[src][col_idx] for src in range(p)]
+        out.append(
+            np.concatenate(parts)
+            if parts
+            else np.zeros(0, dtype=np.asarray(col).dtype)
+        )
+    return tuple(out)

@@ -1,0 +1,1 @@
+"""Distributed operations of the mini-Thrill dataflow layer."""

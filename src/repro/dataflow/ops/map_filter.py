@@ -1,0 +1,43 @@
+"""Element-local operations (Map, Filter, FlatMap over columns).
+
+These need no communication — each PE transforms its local slice — and no
+checker in the paper's framework (they are deterministic local work; the
+checkers target the operations that *move* data).  Provided for API
+completeness of the mini-Thrill layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def map_elements(values: np.ndarray, fn: Callable) -> np.ndarray:
+    """Apply a vectorized function to the local slice."""
+    out = fn(np.asarray(values))
+    return np.asarray(out)
+
+
+def filter_elements(values: np.ndarray, predicate: Callable) -> np.ndarray:
+    """Keep elements where the vectorized predicate holds."""
+    values = np.asarray(values)
+    mask = np.asarray(predicate(values), dtype=bool)
+    if mask.shape != values.shape:
+        raise ValueError(
+            f"predicate mask shape {mask.shape} does not match data shape "
+            f"{values.shape}"
+        )
+    return values[mask]
+
+
+def map_pairs(
+    keys: np.ndarray, values: np.ndarray, fn: Callable
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a vectorized pair transform ``fn(keys, values) -> (keys, values)``."""
+    new_keys, new_values = fn(np.asarray(keys), np.asarray(values))
+    new_keys = np.asarray(new_keys)
+    new_values = np.asarray(new_values)
+    if new_keys.shape != new_values.shape:
+        raise ValueError("pair transform must keep keys and values aligned")
+    return new_keys, new_values

@@ -1,0 +1,29 @@
+"""Merge of two sorted distributed sequences.
+
+Semantically ``Merge(S1, S2) = sort(S1 ∪ S2)`` when both inputs are sorted;
+this implementation routes through the sample-sort exchange (a dedicated
+distributed merge would save local work but produce the same output, and
+the checkers — Corollary 13 — treat the operation as a black box anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.ops.sort import sample_sort
+
+
+def merge_sorted(comm, s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+    """Merge two locally held slices of globally sorted sequences.
+
+    Returns this PE's slice of the merged (sorted) sequence.
+    """
+    s1 = np.asarray(s1).ravel()
+    s2 = np.asarray(s2).ravel()
+    if comm is None or comm.size == 1:
+        # Classic two-pointer merge via numpy: concatenate + stable sort is
+        # O(n log n) but allocation-free merging buys nothing at this scale.
+        out = np.concatenate([s1, s2])
+        out.sort(kind="stable")
+        return out
+    return sample_sort(comm, np.concatenate([s1, s2]))

@@ -1,0 +1,59 @@
+"""Distributed sample sort.
+
+Local sort, regular sampling, splitter broadcast, range exchange, local
+merge — the standard p-splitter algorithm (and what Thrill's Sort does at
+this level of abstraction).  Output: globally sorted, each PE holding a
+contiguous range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pick_splitters(samples: np.ndarray, p: int) -> np.ndarray:
+    """p−1 regular splitters from the pooled, sorted sample."""
+    samples = np.sort(samples)
+    if samples.size == 0:
+        return np.zeros(0, dtype=samples.dtype)
+    positions = (np.arange(1, p) * samples.size) // p
+    return samples[np.minimum(positions, samples.size - 1)]
+
+
+def sample_sort(
+    comm, values: np.ndarray, oversampling: int = 16
+) -> np.ndarray:
+    """Sort the distributed concatenation of local slices.
+
+    Returns this PE's slice of the sorted sequence.  ``oversampling``
+    controls splitter quality (samples per PE = oversampling · p, capped by
+    the local size).
+    """
+    local = np.sort(np.asarray(values).ravel())
+    if comm is None or comm.size == 1:
+        return local
+    p = comm.size
+    sample_count = min(local.size, oversampling * p)
+    if sample_count > 0:
+        positions = (np.arange(sample_count) * local.size) // sample_count
+        sample = local[positions]
+    else:
+        sample = local[:0]
+    pooled = comm.gather(sample, root=0)
+    splitters = None
+    if comm.rank == 0:
+        splitters = _pick_splitters(np.concatenate(pooled), p)
+    splitters = comm.bcast(splitters, root=0)
+
+    if splitters.size:
+        bounds = np.searchsorted(local, splitters, side="right")
+        bounds = np.concatenate(([0], bounds, [local.size]))
+    else:
+        bounds = np.array([0] * p + [local.size])
+    payloads = [
+        np.ascontiguousarray(local[bounds[r] : bounds[r + 1]]) for r in range(p)
+    ]
+    received = comm.alltoall(payloads)
+    merged = np.concatenate(received) if received else local[:0]
+    merged.sort()
+    return merged

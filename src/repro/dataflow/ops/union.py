@@ -1,0 +1,17 @@
+"""Union — multiset union of two distributed sequences.
+
+Distribution-free: concatenating the local slices realises the multiset
+union without any communication (order is unspecified, as in Thrill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def union_arrays(comm, s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+    """Local slice of ``Union(S1, S2)``."""
+    del comm  # no communication needed; kept for API uniformity
+    s1 = np.asarray(s1).ravel()
+    s2 = np.asarray(s2).ravel()
+    return np.concatenate([s1, s2])

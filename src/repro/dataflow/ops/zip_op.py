@@ -1,0 +1,55 @@
+"""Zip — index-wise pairing of two equally long distributed sequences.
+
+The sequences need not share a distribution, so (at least) one of them is
+realigned: every PE fetches the slice of S2 covering its S1 index range
+(§6.4: "the elements of (at least) one sequence need to be moved in the
+general case").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.exchange import global_offset
+
+
+def zip_arrays(
+    comm, s1: np.ndarray, s2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the local slice of ``Zip(S1, S2)`` as two aligned columns.
+
+    Output distribution follows S1's.  Raises if the global lengths differ.
+    """
+    s1 = np.asarray(s1).ravel()
+    s2 = np.asarray(s2).ravel()
+    if comm is None or comm.size == 1:
+        if s1.size != s2.size:
+            raise ValueError(
+                f"Zip requires equal lengths, got {s1.size} and {s2.size}"
+            )
+        return s1.copy(), s2.copy()
+
+    p = comm.size
+    n1 = comm.allreduce(int(s1.size), op=lambda a, b: a + b)
+    n2 = comm.allreduce(int(s2.size), op=lambda a, b: a + b)
+    if n1 != n2:
+        raise ValueError(f"Zip requires equal lengths, got {n1} and {n2}")
+
+    off1 = global_offset(comm, int(s1.size))
+    off2 = global_offset(comm, int(s2.size))
+    # Every PE learns the S1 index ranges (the target distribution).
+    ranges = comm.allgather((off1, off1 + int(s1.size)))
+
+    # Send each PE the part of our S2 slice that falls into its range.
+    payloads = []
+    for start, stop in ranges:
+        lo = max(off2, start)
+        hi = min(off2 + s2.size, stop)
+        payloads.append(
+            np.ascontiguousarray(s2[lo - off2 : hi - off2])
+            if hi > lo
+            else s2[:0]
+        )
+    received = comm.alltoall(payloads)
+    aligned = np.concatenate([received[src] for src in range(p)])
+    return s1.copy(), aligned

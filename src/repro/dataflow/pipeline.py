@@ -1,0 +1,186 @@
+"""Checked operations: run an operation with its checker interleaved.
+
+Mirrors how the paper integrates checkers into Thrill (§7 "Scaling
+Behavior"): elements are forwarded to the checker as they are passed to the
+operation, so the measured cost is the whole reduce-check pipeline.  A
+manipulator may be planted inside the black box to exercise the failure
+path (the experiment harness does exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.core.params import SumCheckConfig
+from repro.core.sort_checker import check_sort
+from repro.core.sum_checker import SumAggregationChecker
+from repro.dataflow.ops.reduce_by_key import reduce_by_key
+from repro.dataflow.ops.sort import sample_sort
+
+
+@dataclass
+class CheckedRunStats:
+    """Timing split of a checked run (for the Fig 4 overhead ratio)."""
+
+    operation_seconds: float
+    checker_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.operation_seconds + self.checker_seconds
+
+    @property
+    def overhead_ratio(self) -> float:
+        if self.operation_seconds == 0.0:
+            return 1.0
+        return self.total_seconds / self.operation_seconds
+
+
+def checked_reduce_by_key(
+    comm,
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: SumCheckConfig,
+    seed: int = 0,
+    partitioner=None,
+    manipulator=None,
+    manipulator_rng=None,
+):
+    """ReduceByKey + §4 checker in one pipeline.
+
+    Returns ``(result_keys, result_values, CheckResult, CheckedRunStats)``.
+    With a ``manipulator`` the fault is injected *inside* the black box (the
+    checker still sees the original input), emulating a silent error in the
+    reduction.
+    """
+    checker = SumAggregationChecker(config, seed)
+
+    t0 = time.perf_counter()
+    t_in = checker.local_tables(keys, values)  # checker taps the input stream
+    t1 = time.perf_counter()
+
+    op_keys, op_values = keys, values
+    if manipulator is not None:
+        rng = manipulator_rng or np.random.default_rng(seed)
+        manipulated = manipulator.apply(rng, keys, values)
+        op_keys, op_values = manipulated.keys, manipulated.values
+    out_keys, out_values = reduce_by_key(comm, op_keys, op_values, partitioner)
+    t2 = time.perf_counter()
+
+    t_out = checker.local_tables(out_keys, out_values)
+    diff = checker.difference(t_in, t_out)
+    if comm is None:
+        verdict = not np.any(diff)
+    else:
+
+        def wire_op(a, b):
+            return checker.pack(
+                checker.combine(checker.unpack(a), checker.unpack(b))
+            )
+
+        combined = comm.reduce(checker.pack(diff), wire_op, root=0)
+        verdict = None
+        if comm.rank == 0:
+            verdict = not np.any(checker.unpack(combined))
+        verdict = comm.bcast(verdict, root=0)
+    t3 = time.perf_counter()
+
+    result = CheckResult(
+        accepted=bool(verdict),
+        checker="sum-aggregation",
+        details={"config": config.label(), "pipelined": True},
+    )
+    stats = CheckedRunStats(
+        operation_seconds=t2 - t1,
+        checker_seconds=(t1 - t0) + (t3 - t2),
+    )
+    return out_keys, out_values, result, stats
+
+
+def checked_sort(
+    comm,
+    values: np.ndarray,
+    iterations: int = 2,
+    hash_family: str = "Mix",
+    log_h: int = 32,
+    seed: int = 0,
+    manipulator=None,
+    manipulator_rng=None,
+):
+    """Sample sort + Theorem 7 checker in one pipeline.
+
+    Returns ``(sorted_local, CheckResult, CheckedRunStats)``.
+    """
+    t0 = time.perf_counter()
+    op_input = values
+    if manipulator is not None:
+        rng = manipulator_rng or np.random.default_rng(seed)
+        op_input = manipulator.apply(rng, values).sequence
+    out = sample_sort(comm, op_input)
+    t1 = time.perf_counter()
+    result = check_sort(
+        values,
+        out,
+        iterations=iterations,
+        hash_family=hash_family,
+        log_h=log_h,
+        seed=seed,
+        comm=comm,
+    )
+    t2 = time.perf_counter()
+    stats = CheckedRunStats(
+        operation_seconds=t1 - t0, checker_seconds=t2 - t1
+    )
+    return out, result, stats
+
+
+def checked_join(
+    comm,
+    r_kv,
+    s_kv,
+    mode: str = "hash",
+    partitioner=None,
+    iterations: int = 2,
+    seed: int = 0,
+):
+    """Distributed join + Corollary 15 (invasive redistribution) checker.
+
+    ``mode="hash"`` runs a hash join; ``mode="range"`` a range-partitioned
+    sort-merge join.  Returns ``(JoinExchange, CheckResult, stats)``.
+    """
+    from repro.core.groupby_checker import default_partitioner
+    from repro.core.join_checker import check_join_redistribution
+    from repro.dataflow.ops.join import hash_join
+    from repro.dataflow.ops.sort_merge_join import sort_merge_join
+
+    t0 = time.perf_counter()
+    if mode == "hash":
+        if partitioner is None:
+            size = comm.size if comm is not None else 1
+            partitioner = default_partitioner(size)
+        jx = hash_join(comm, r_kv, s_kv, partitioner=partitioner)
+    elif mode == "range":
+        jx = sort_merge_join(comm, r_kv, s_kv)
+    else:
+        raise ValueError(f"mode must be 'hash' or 'range', got {mode!r}")
+    t1 = time.perf_counter()
+    result = check_join_redistribution(
+        r_kv,
+        s_kv,
+        jx.r_post,
+        jx.s_post,
+        mode=mode,
+        partitioner=partitioner,
+        comm=comm,
+        iterations=iterations,
+        seed=seed,
+    )
+    t2 = time.perf_counter()
+    stats = CheckedRunStats(
+        operation_seconds=t1 - t0, checker_seconds=t2 - t1
+    )
+    return jx, result, stats

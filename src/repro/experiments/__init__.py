@@ -1,0 +1,52 @@
+"""The paper's experiment suite (§7 + Appendix A).
+
+===========  =============================================  ==============
+experiment   paper artefact                                  module
+===========  =============================================  ==============
+accuracy     Fig 3 (sum checker), Fig 5 (permutation)        accuracy
+overhead     Table 5, §7.2 running-time paragraphs           overhead
+scaling      Fig 4 (weak scaling overhead ratio)             scaling
+volume       Table 1's communication claims                  volume
+parameters   Table 2 (optimizer), Table 3 (configurations)   core.params
+===========  =============================================  ==============
+"""
+
+from repro.experiments.accuracy import (
+    AccuracyCell,
+    perm_checker_accuracy,
+    perm_checker_accuracy_full,
+    sum_checker_accuracy,
+    sum_checker_accuracy_full,
+)
+from repro.experiments.overhead import (
+    OverheadRow,
+    reduce_baseline_ns,
+    sort_checker_overhead_ns,
+    sum_checker_overhead_ns,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    measured_weak_scaling,
+    modeled_weak_scaling,
+)
+from repro.experiments.volume import VolumeRow, checker_volume_table
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "AccuracyCell",
+    "perm_checker_accuracy",
+    "perm_checker_accuracy_full",
+    "sum_checker_accuracy",
+    "sum_checker_accuracy_full",
+    "OverheadRow",
+    "reduce_baseline_ns",
+    "sort_checker_overhead_ns",
+    "sum_checker_overhead_ns",
+    "ScalingPoint",
+    "measured_weak_scaling",
+    "modeled_weak_scaling",
+    "VolumeRow",
+    "checker_volume_table",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,30 @@
+"""Plain-text table/series rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a header rule (monospace-friendly)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """A labelled (x, y) series as aligned columns (one figure line)."""
+    header = f"# {name}: {x_label} -> {y_label}"
+    rows = [f"{x!s:>12}  {y}" for x, y in zip(xs, ys)]
+    return "\n".join([header] + rows)

@@ -1,0 +1,51 @@
+"""Fault injection: the paper's manipulators (§7, Tables 4 and 6).
+
+Manipulators "purposefully interfere with the computation and deliberately
+introduce faults" — subtle, minimal changes, because large-scale corruption
+is trivially detected.  Each manipulator reports the *exact sparse effect*
+of its change (per-key aggregate deltas for the sum family; removed/added
+elements for the permutation family), which the accuracy harness uses for
+its exact fast path.
+"""
+
+from repro.faults.manipulators import (
+    PERM_MANIPULATORS,
+    SUM_MANIPULATORS,
+    Bitflip,
+    IncDec,
+    IncKey,
+    Increment,
+    KVManipulation,
+    KVManipulator,
+    RandKey,
+    Randomize,
+    Reset,
+    SeqBitflip,
+    SeqManipulation,
+    SeqManipulator,
+    SetEqual,
+    SwitchValues,
+    get_kv_manipulator,
+    get_seq_manipulator,
+)
+
+__all__ = [
+    "PERM_MANIPULATORS",
+    "SUM_MANIPULATORS",
+    "Bitflip",
+    "IncDec",
+    "IncKey",
+    "Increment",
+    "KVManipulation",
+    "KVManipulator",
+    "RandKey",
+    "Randomize",
+    "Reset",
+    "SeqBitflip",
+    "SeqManipulation",
+    "SeqManipulator",
+    "SetEqual",
+    "SwitchValues",
+    "get_kv_manipulator",
+    "get_seq_manipulator",
+]

@@ -1,0 +1,388 @@
+"""The paper's manipulators (Tables 4 and 6).
+
+Two families:
+
+* **Key-value manipulators** (Table 4) attack a sum aggregation: the fault
+  is injected *inside* the (black-box) reduction, so the checker sees the
+  original input but an output aggregated from manipulated data.  The
+  effect on the checker is fully described by the per-key aggregate deltas.
+* **Sequence manipulators** (Table 6) attack a sort/permutation: one
+  element of the input sequence is altered before sorting ("in order to
+  test the permutation checker and not the trivial sortedness check").
+  The effect is described by the (removed, added) element multisets.
+
+Every ``apply`` returns both the manipulated data and the sparse effect;
+``sample_delta``/``sample_change`` produce only the effect (same
+distribution) for the high-trial-count accuracy experiments.  Manipulators
+re-draw when a draw happens to be a no-op (e.g. RandKey drawing the same
+key): a manipulator's contract is that it *does* introduce a fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_MAX_REDRAWS = 64
+
+
+@dataclass
+class KVManipulation:
+    """Effect of a key-value manipulator."""
+
+    keys: np.ndarray  # manipulated keys (full copy) — None in delta-only mode
+    values: np.ndarray | None
+    delta_keys: np.ndarray  # sparse per-key aggregate deltas (output − correct)
+    delta_values: np.ndarray
+
+
+@dataclass
+class SeqManipulation:
+    """Effect of a sequence manipulator."""
+
+    sequence: np.ndarray | None  # manipulated sequence — None in delta-only mode
+    removed: np.ndarray  # multiset of elements removed from the sequence
+    added: np.ndarray  # multiset of elements added
+
+
+_KEY_MASK = (1 << 64) - 1
+
+
+def _consolidate(keys: list[int], values: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Merge duplicate delta keys and drop zero deltas.
+
+    Keys wrap modulo 2^64 (stored-integer semantics: decrementing key 0
+    yields key 2^64−1, exactly what the manipulated uint64 record holds).
+    """
+    agg: dict[int, int] = {}
+    for k, v in zip(keys, values):
+        k &= _KEY_MASK
+        agg[k] = agg.get(k, 0) + v
+    kept = [(k, v) for k, v in agg.items() if v != 0]
+    if not kept:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+    ks, vs = zip(*kept)
+    return np.array(ks, dtype=np.uint64), np.array(vs, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: sum-aggregation manipulators
+# ---------------------------------------------------------------------------
+
+
+class KVManipulator:
+    """Base class; subclasses draw a fault and describe its aggregate delta."""
+
+    name: str = "?"
+
+    def _draw(self, rng: np.random.Generator, keys, values):
+        """Return (delta_keys, delta_values, edits) for one fault.
+
+        ``edits`` is a list of (index, new_key, new_value) element rewrites
+        used by :meth:`apply` to materialise the manipulated input.
+        """
+        raise NotImplementedError
+
+    def sample_delta(self, rng: np.random.Generator, keys, values) -> KVManipulation:
+        """Draw a fault; report only its per-key aggregate deltas (fast path)."""
+        for _ in range(_MAX_REDRAWS):
+            dk, dv, _ = self._draw(rng, keys, values)
+            if dk.size:
+                return KVManipulation(None, None, dk, dv)
+        raise RuntimeError(
+            f"{self.name}: could not draw an effective fault in "
+            f"{_MAX_REDRAWS} attempts (degenerate input?)"
+        )
+
+    def apply(self, rng: np.random.Generator, keys, values) -> KVManipulation:
+        """Draw a fault; return the manipulated copy plus its deltas."""
+        for _ in range(_MAX_REDRAWS):
+            dk, dv, edits = self._draw(rng, keys, values)
+            if dk.size:
+                new_keys = np.array(keys, dtype=np.uint64, copy=True)
+                new_values = np.array(values, dtype=np.int64, copy=True)
+                for idx, nk, nv in edits:
+                    new_keys[idx] = nk & _KEY_MASK
+                    new_values[idx] = nv
+                return KVManipulation(new_keys, new_values, dk, dv)
+        raise RuntimeError(
+            f"{self.name}: could not draw an effective fault in "
+            f"{_MAX_REDRAWS} attempts (degenerate input?)"
+        )
+
+
+class Bitflip(KVManipulator):
+    """Flip a random bit of a random input element (key or value part).
+
+    The element is the stored (key, value) record: ``key_bits`` key bits
+    followed by ``value_bits`` value bits (soft-error model: a single DRAM
+    bitflip inside the reduction's working set).
+    """
+
+    name = "Bitflip"
+
+    def __init__(self, key_bits: int = 20, value_bits: int = 21):
+        self.key_bits = key_bits
+        self.value_bits = value_bits
+
+    def _draw(self, rng, keys, values):
+        i = int(rng.integers(len(keys)))
+        bit = int(rng.integers(self.key_bits + self.value_bits))
+        k = int(keys[i])
+        v = int(values[i])
+        if bit < self.value_bits:
+            nv = v ^ (1 << bit)
+            dk, dv = _consolidate([k], [nv - v])
+            return dk, dv, [(i, k, nv)]
+        nk = k ^ (1 << (bit - self.value_bits))
+        dk, dv = _consolidate([k, nk], [-v, v])
+        return dk, dv, [(i, nk, v)]
+
+
+class RandKey(KVManipulator):
+    """Randomize the key of a random element (within the key domain)."""
+
+    name = "RandKey"
+
+    def __init__(self, key_domain: int = 10**6):
+        self.key_domain = key_domain
+
+    def _draw(self, rng, keys, values):
+        i = int(rng.integers(len(keys)))
+        k = int(keys[i])
+        v = int(values[i])
+        nk = int(rng.integers(self.key_domain))
+        dk, dv = _consolidate([k, nk], [-v, v])
+        return dk, dv, [(i, nk, v)]
+
+
+class SwitchValues(KVManipulator):
+    """Switch the values of two random elements."""
+
+    name = "SwitchValues"
+
+    def _draw(self, rng, keys, values):
+        n = len(keys)
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        ki, kj = int(keys[i]), int(keys[j])
+        vi, vj = int(values[i]), int(values[j])
+        dk, dv = _consolidate([ki, kj], [vj - vi, vi - vj])
+        return dk, dv, [(i, ki, vj), (j, kj, vi)]
+
+
+class IncKey(KVManipulator):
+    """Increment the key of a random element."""
+
+    name = "IncKey"
+
+    def _draw(self, rng, keys, values):
+        i = int(rng.integers(len(keys)))
+        k = int(keys[i])
+        v = int(values[i])
+        nk = (k + 1) & _KEY_MASK
+        dk, dv = _consolidate([k, nk], [-v, v])
+        return dk, dv, [(i, nk, v)]
+
+
+class IncDec(KVManipulator):
+    """Increment the keys of n elements, decrement those of n others.
+
+    All 2n touched elements have pairwise distinct keys (Table 4); this is
+    the adversarial case for the checker because the ±v deltas may cancel
+    within a bucket.
+    """
+
+    def __init__(self, n: int = 1):
+        if n < 1:
+            raise ValueError(f"IncDec needs n >= 1, got {n}")
+        self.n = n
+        self.name = f"IncDec{n}"
+
+    def _draw(self, rng, keys, values):
+        needed = 2 * self.n
+        # Sample until we hold 2n elements with pairwise distinct keys.
+        seen: dict[int, int] = {}
+        for _ in range(64 * needed):
+            i = int(rng.integers(len(keys)))
+            k = int(keys[i])
+            if k not in seen:
+                seen[k] = i
+            if len(seen) == needed:
+                break
+        else:
+            return (
+                np.zeros(0, dtype=np.uint64),
+                np.zeros(0, dtype=np.int64),
+                [],
+            )
+        picks = list(seen.values())
+        delta_keys: list[int] = []
+        delta_vals: list[int] = []
+        edits = []
+        for rank, i in enumerate(picks):
+            k = int(keys[i])
+            v = int(values[i])
+            nk = (k + 1 if rank < self.n else k - 1) & _KEY_MASK
+            delta_keys += [k, nk]
+            delta_vals += [-v, v]
+            edits.append((i, nk, v))
+        dk, dv = _consolidate(delta_keys, delta_vals)
+        return dk, dv, edits
+
+
+# ---------------------------------------------------------------------------
+# Table 6: permutation/sort manipulators
+# ---------------------------------------------------------------------------
+
+
+class SeqManipulator:
+    """Base class for single-element sequence manipulators."""
+
+    name: str = "?"
+
+    def _draw(self, rng: np.random.Generator, seq):
+        """Return (index, new_value) or None if the draw was a no-op."""
+        raise NotImplementedError
+
+    def sample_change(self, rng: np.random.Generator, seq) -> SeqManipulation:
+        """Draw a fault; report only the removed/added elements."""
+        for _ in range(_MAX_REDRAWS):
+            drawn = self._draw(rng, seq)
+            if drawn is not None:
+                i, nv = drawn
+                return SeqManipulation(
+                    None,
+                    removed=np.array([seq[i]], dtype=np.uint64),
+                    added=np.array([nv], dtype=np.uint64),
+                )
+        raise RuntimeError(f"{self.name}: no effective fault in {_MAX_REDRAWS} draws")
+
+    def apply(self, rng: np.random.Generator, seq) -> SeqManipulation:
+        """Draw a fault; return the manipulated sequence plus the change."""
+        for _ in range(_MAX_REDRAWS):
+            drawn = self._draw(rng, seq)
+            if drawn is not None:
+                i, nv = drawn
+                out = np.array(seq, dtype=np.uint64, copy=True)
+                removed = np.array([out[i]], dtype=np.uint64)
+                out[i] = nv
+                return SeqManipulation(
+                    out, removed=removed, added=np.array([nv], dtype=np.uint64)
+                )
+        raise RuntimeError(f"{self.name}: no effective fault in {_MAX_REDRAWS} draws")
+
+
+class SeqBitflip(SeqManipulator):
+    """Flip a random bit of a random element (within ``bit_width`` bits)."""
+
+    name = "Bitflip"
+
+    def __init__(self, bit_width: int = 27):
+        self.bit_width = bit_width
+
+    def _draw(self, rng, seq):
+        i = int(rng.integers(len(seq)))
+        bit = int(rng.integers(self.bit_width))
+        return i, int(seq[i]) ^ (1 << bit)
+
+
+class Increment(SeqManipulator):
+    """Increment a random element's value by one (the CRC killer)."""
+
+    name = "Increment"
+
+    def _draw(self, rng, seq):
+        i = int(rng.integers(len(seq)))
+        return i, int(seq[i]) + 1
+
+
+class Randomize(SeqManipulator):
+    """Set a random element to a random value in the universe."""
+
+    name = "Randomize"
+
+    def __init__(self, universe: int = 10**8):
+        self.universe = universe
+
+    def _draw(self, rng, seq):
+        i = int(rng.integers(len(seq)))
+        nv = int(rng.integers(self.universe))
+        if nv == int(seq[i]):
+            return None
+        return i, nv
+
+
+class Reset(SeqManipulator):
+    """Reset a random element to the default value 0."""
+
+    name = "Reset"
+
+    def _draw(self, rng, seq):
+        i = int(rng.integers(len(seq)))
+        if int(seq[i]) == 0:
+            return None
+        return i, 0
+
+
+class SetEqual(SeqManipulator):
+    """Set a random element equal to a *different* element.
+
+    Produces a duplicated value — precisely the case where the mod-H
+    hash-sum of Lemma 4 (without the wide-sum fix) loses soundness.
+    """
+
+    name = "SetEqual"
+
+    def _draw(self, rng, seq):
+        i = int(rng.integers(len(seq)))
+        j = int(rng.integers(len(seq)))
+        if int(seq[j]) == int(seq[i]):
+            return None
+        return i, int(seq[j])
+
+
+# ---------------------------------------------------------------------------
+# Registries (Table 4 and Table 6 rosters)
+# ---------------------------------------------------------------------------
+
+SUM_MANIPULATORS: dict[str, type | object] = {
+    "Bitflip": Bitflip,
+    "RandKey": RandKey,
+    "SwitchValues": SwitchValues,
+    "IncKey": IncKey,
+    "IncDec1": lambda: IncDec(1),
+    "IncDec2": lambda: IncDec(2),
+}
+
+PERM_MANIPULATORS: dict[str, type | object] = {
+    "Bitflip": SeqBitflip,
+    "Increment": Increment,
+    "Randomize": Randomize,
+    "Reset": Reset,
+    "SetEqual": SetEqual,
+}
+
+
+def get_kv_manipulator(name: str, **kwargs) -> KVManipulator:
+    """Instantiate a Table 4 manipulator by name."""
+    try:
+        factory = SUM_MANIPULATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sum manipulator {name!r}; available: {sorted(SUM_MANIPULATORS)}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()
+
+
+def get_seq_manipulator(name: str, **kwargs) -> SeqManipulator:
+    """Instantiate a Table 6 manipulator by name."""
+    try:
+        factory = PERM_MANIPULATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sequence manipulator {name!r}; "
+            f"available: {sorted(PERM_MANIPULATORS)}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()

@@ -1,0 +1,115 @@
+"""Bit-parallel hashing: one hash evaluation, many iteration-local values.
+
+Paper §4 "Optimizations" / §7.1: *"instead of computing eight four-bit hash
+values, we compute one 32-bit hash value and partition it into eight groups
+of four bits, which we treat as the output of the hash functions.  This is
+implemented in a generic manner to satisfy any partition of a hash value
+into groups."*
+
+:class:`BucketAssigner` produces, for every checker iteration, the bucket
+index in ``0..d-1`` of every key.  When ``d`` is a power of two it packs as
+many ⌈log2 d⌉-bit groups as fit into one hash value and evaluates additional
+seeded instances only when more iterations are requested than fit — exactly
+the paper's scheme.  For general ``d`` (the Table 2 optimizer frequently
+yields non-powers of two, e.g. d = 37) it falls back to one evaluation per
+iteration reduced ``mod d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import HashFamily
+from repro.util.bits import ceil_log2, is_power_of_two
+from repro.util.rng import derive_seed
+
+
+def split_bit_groups(
+    hashes: np.ndarray, group_bits: int, num_groups: int, total_bits: int
+) -> list[np.ndarray]:
+    """Split each hash value into ``num_groups`` groups of ``group_bits`` bits.
+
+    Groups are taken from the least-significant end.  Raises if the requested
+    groups do not fit into ``total_bits``.
+    """
+    if group_bits <= 0:
+        raise ValueError(f"group_bits must be positive, got {group_bits}")
+    if num_groups * group_bits > total_bits:
+        raise ValueError(
+            f"{num_groups} groups of {group_bits} bits do not fit in "
+            f"{total_bits}-bit hash values"
+        )
+    hashes = np.asarray(hashes, dtype=np.uint64)
+    group_mask = np.uint64((1 << group_bits) - 1)
+    return [
+        (hashes >> np.uint64(i * group_bits)) & group_mask
+        for i in range(num_groups)
+    ]
+
+
+class BucketAssigner:
+    """Maps keys to ``iterations`` independent bucket indices in ``0..d-1``.
+
+    Parameters
+    ----------
+    family:
+        Hash family to draw instances from.
+    d:
+        Number of buckets (paper's condensed key-space size).
+    iterations:
+        Number of independent checker iterations.
+    seed:
+        Root seed; instance ``j`` uses ``derive_seed(seed, "bucket", j)``.
+    """
+
+    def __init__(self, family: HashFamily, d: int, iterations: int, seed: int):
+        if d < 2:
+            raise ValueError(f"need at least 2 buckets, got d={d}")
+        if iterations < 1:
+            raise ValueError(f"need at least 1 iteration, got {iterations}")
+        self.family = family
+        self.d = d
+        self.iterations = iterations
+        self.seed = seed
+        self.bit_parallel = is_power_of_two(d)
+        self.group_bits = ceil_log2(d) if self.bit_parallel else 0
+        if self.bit_parallel:
+            self.groups_per_eval = max(1, family.bits // self.group_bits)
+            num_evals = -(-iterations // self.groups_per_eval)  # ceil division
+        else:
+            self.groups_per_eval = 1
+            num_evals = iterations
+        self._functions = [
+            family.instance(derive_seed(seed, "bucket", j)) for j in range(num_evals)
+        ]
+
+    @property
+    def num_hash_evaluations(self) -> int:
+        """How many hash-function passes one call to :meth:`assign` makes."""
+        return len(self._functions)
+
+    def assign(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket indices, shape ``(iterations, len(keys))``, dtype intp."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.empty((self.iterations, keys.size), dtype=np.intp)
+        if self.bit_parallel:
+            mask = np.uint64(self.d - 1)
+            it = 0
+            for fn in self._functions:
+                h = fn.hash_array(keys)
+                for g in range(self.groups_per_eval):
+                    if it >= self.iterations:
+                        break
+                    out[it] = (
+                        (h >> np.uint64(g * self.group_bits)) & mask
+                    ).astype(np.intp)
+                    it += 1
+        else:
+            for it, fn in enumerate(self._functions):
+                h = fn.hash_array(keys)
+                out[it] = (h % np.uint64(self.d)).astype(np.intp)
+        return out
+
+    def assign_one(self, key: int) -> list[int]:
+        """Scalar version of :meth:`assign` for a single key."""
+        return [int(b) for b in self.assign(np.array([key], dtype=np.uint64))[:, 0]]

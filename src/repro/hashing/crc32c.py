@@ -1,0 +1,90 @@
+"""Software CRC-32C (Castagnoli), matching the x86 SSE 4.2 instruction.
+
+The paper's implementation uses the hardware ``crc32`` instruction (Gopal et
+al., Intel white paper) as a fast hash with limited randomness.  We reproduce
+the *same function* in software (table-driven, reflected polynomial
+``0x82F63B78``) so that the accuracy anomalies the paper observes — elevated
+failure rates of CRC on the ``Increment``/``IncDec1`` manipulators caused by
+the low-bit linearity of CRC — appear identically in our experiments.
+
+Seeding: the hardware instruction folds data into a running CRC state, so a
+"random hash function" is obtained by starting from a random initial state.
+``crc32c_u64(x, seed)`` is the raw (no pre/post inversion) CRC of the 8
+little-endian bytes of ``x`` starting from state ``seed``; this mirrors
+``_mm_crc32_u64(seed, x)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reflected CRC-32C (Castagnoli) polynomial, as used by SSE 4.2 ``crc32``.
+CRC32C_POLY_REFLECTED = 0x82F63B78
+
+
+def _build_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC32C_POLY_REFLECTED
+            else:
+                crc >>= 1
+        table[byte] = crc
+    return table
+
+
+#: The 256-entry byte-at-a-time lookup table (module-level, built once).
+_TABLE = _build_table()
+_TABLE_LIST = [int(x) for x in _TABLE]
+
+
+def crc32c_bytes(data: bytes, init: int = 0) -> int:
+    """Raw CRC-32C of ``data`` starting from state ``init`` (no inversion)."""
+    crc = init & 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE_LIST[(crc ^ byte) & 0xFF]
+    return crc
+
+
+def crc32c_checksum(data: bytes) -> int:
+    """Standard CRC-32C checksum (init ``0xFFFFFFFF``, final inversion).
+
+    Matches RFC 3720 / the ``crc32c`` of common libraries; used only to
+    validate the table against published test vectors.
+    """
+    return crc32c_bytes(data, 0xFFFFFFFF) ^ 0xFFFFFFFF
+
+
+def crc32c_u64(x: int, seed: int = 0) -> int:
+    """CRC-32C of the 8 little-endian bytes of ``x``, from state ``seed``.
+
+    Equivalent to the hardware sequence ``_mm_crc32_u64(seed, x)`` (modulo
+    the instruction operating on 64-bit chunks at once — the result is the
+    same because CRC is byte-serial).
+    """
+    return crc32c_bytes(int(x).to_bytes(8, "little", signed=False), seed)
+
+
+def crc32c_u64_array(
+    keys: np.ndarray, seed: int = 0, nbytes: int = 8
+) -> np.ndarray:
+    """Vectorized CRC-32C over the low ``nbytes`` bytes of a uint64 array.
+
+    Processes the bytes of every key in lock-step with fancy indexing into
+    the lookup table; ``nbytes`` numpy passes regardless of array length.
+    ``nbytes`` matters for detection behaviour: CRC of a 32-bit value is a
+    different function than CRC of the same value stored in 64 bits, and
+    the paper's workloads store 32-bit elements.
+    """
+    if not 1 <= nbytes <= 8:
+        raise ValueError(f"nbytes must be in 1..8, got {nbytes}")
+    keys = np.asarray(keys, dtype=np.uint64)
+    crc = np.full(keys.shape, np.uint32(seed & 0xFFFFFFFF), dtype=np.uint32)
+    for byte_index in range(nbytes):
+        byte = ((keys >> np.uint64(8 * byte_index)) & np.uint64(0xFF)).astype(
+            np.uint32
+        )
+        crc = (crc >> np.uint32(8)) ^ _TABLE[(crc ^ byte) & np.uint32(0xFF)]
+    return crc

@@ -1,0 +1,150 @@
+"""Uniform, seedable hash-family interface.
+
+A *family* is a factory; a *function* is a seeded instance.  The registry is
+keyed by the paper's abbreviations (§7 "Implementation Details"):
+
+* ``"CRC"``   — CRC-32C seeded by initial state (32 output bits);
+* ``"Tab"``   — tabulation hashing, 4 tables (32-bit keys);
+* ``"Tab64"`` — tabulation hashing, 8 tables (64-bit keys);
+* ``"Mix"``   — keyed SplitMix64 (the ideal-model stand-in);
+* ``"MShift"``— 2-universal multiply-shift (ablation only).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hashing.crc32c import crc32c_bytes, crc32c_u64_array
+from repro.hashing.mixers import MultiplyShiftHash, SplitMixHash
+from repro.hashing.tabulation import TabulationHash
+
+
+@runtime_checkable
+class HashFunction(Protocol):
+    """A concrete (seeded) hash function over 64-bit integer keys."""
+
+    bits: int
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation (uint64 in, unsigned out)."""
+        ...
+
+    def hash_one(self, key: int) -> int:
+        """Scalar evaluation."""
+        ...
+
+
+class _CRCHash:
+    """CRC-32C instance seeded via the initial CRC state.
+
+    ``nbytes`` is the stored width of the hashed elements (8 for 64-bit
+    records, 4 for 32-bit ones — the width the paper's workloads use).
+    """
+
+    bits = 32
+
+    def __init__(self, seed: int, nbytes: int = 8):
+        self.seed = seed & 0xFFFFFFFF
+        self.nbytes = nbytes
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        return crc32c_u64_array(keys, self.seed, self.nbytes).astype(np.uint64)
+
+    def hash_one(self, key: int) -> int:
+        data = int(key).to_bytes(8, "little", signed=False)[: self.nbytes]
+        return crc32c_bytes(data, self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CRC32CHash(seed={self.seed:#x}, nbytes={self.nbytes})"
+
+
+class HashFamily:
+    """Named factory of seeded hash functions."""
+
+    def __init__(self, name: str, factory, bits: int, description: str):
+        self.name = name
+        self._factory = factory
+        self.bits = bits
+        self.description = description
+
+    def instance(self, seed: int) -> HashFunction:
+        """Create the hash function determined by ``seed``."""
+        return self._factory(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashFamily({self.name!r}, bits={self.bits})"
+
+
+_REGISTRY: dict[str, HashFamily] = {}
+
+
+def _register(family: HashFamily) -> HashFamily:
+    _REGISTRY[family.name.lower()] = family
+    return family
+
+
+CRC_FAMILY = _register(
+    HashFamily(
+        "CRC",
+        _CRCHash,
+        32,
+        "CRC-32C (Castagnoli), seeded initial state; limited randomness",
+    )
+)
+CRC4_FAMILY = _register(
+    HashFamily(
+        "CRC4",
+        lambda seed: _CRCHash(seed, nbytes=4),
+        32,
+        "CRC-32C over 4-byte (32-bit) elements — the paper's stored width",
+    )
+)
+TAB_FAMILY = _register(
+    HashFamily(
+        "Tab",
+        lambda seed: TabulationHash(seed, key_bits=32, out_bits=32),
+        32,
+        "simple tabulation, 4 tables of 256 (32-bit keys)",
+    )
+)
+TAB64_FAMILY = _register(
+    HashFamily(
+        "Tab64",
+        lambda seed: TabulationHash(seed, key_bits=64, out_bits=64),
+        64,
+        "simple tabulation, 8 tables of 256 (64-bit keys)",
+    )
+)
+MIX_FAMILY = _register(
+    HashFamily(
+        "Mix",
+        lambda seed: SplitMixHash(seed, out_bits=64),
+        64,
+        "keyed SplitMix64 finalizer (ideal-model stand-in)",
+    )
+)
+MSHIFT_FAMILY = _register(
+    HashFamily(
+        "MShift",
+        lambda seed: MultiplyShiftHash(seed, out_bits=32),
+        32,
+        "2-universal multiply-shift (ablation)",
+    )
+)
+
+
+def get_family(name: str) -> HashFamily:
+    """Look up a registered family by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown hash family {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_families() -> list[str]:
+    """Names of all registered families (canonical capitalisation)."""
+    return [fam.name for fam in _REGISTRY.values()]

@@ -1,0 +1,131 @@
+"""Carry-less multiplication and GF(2^64) arithmetic.
+
+§5 of the paper suggests replacing the mod-p polynomial evaluation of
+Lemma 5 with multiplication in a Galois field GF(2^l), which maps to the
+``PCLMULQDQ`` instruction on x86 (Plank et al., FAST'13).  We implement the
+field GF(2^64) with the standard irreducible polynomial
+
+    x^64 + x^4 + x^3 + x + 1
+
+both scalar (Python ints) and vectorized (two-lane uint64 numpy emulation of
+the 128-bit carry-less product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Low 64 bits of the irreducible polynomial x^64 + x^4 + x^3 + x + 1.
+GF64_MODULUS_TAIL = 0x1B
+
+_MASK64 = (1 << 64) - 1
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less (XOR) product of two 64-bit ints; up to 127-bit result."""
+    a &= _MASK64
+    result = 0
+    b &= _MASK64
+    while b:
+        low = b & -b
+        result ^= a * low  # multiplying by a power of two is a shift
+        b ^= low
+    return result
+
+
+def _gf64_reduce_int(x: int) -> int:
+    """Reduce a (≤127-bit) carry-less product modulo x^64 + x^4 + x^3 + x + 1."""
+    # Fold the high half twice: x^64 ≡ x^4 + x^3 + x + 1.
+    for _ in range(2):
+        hi = x >> 64
+        if not hi:
+            break
+        x = (x & _MASK64) ^ (hi << 4) ^ (hi << 3) ^ (hi << 1) ^ hi
+    return x & _MASK64 if x >> 64 == 0 else _gf64_reduce_int(x)
+
+
+def gf64_mul(a: int, b: int) -> int:
+    """Field product in GF(2^64)."""
+    return _gf64_reduce_int(clmul(a, b))
+
+
+def gf64_pow(a: int, e: int) -> int:
+    """Field exponentiation by squaring."""
+    if e < 0:
+        raise ValueError("negative exponents are not supported")
+    result = 1
+    base = a & _MASK64
+    while e:
+        if e & 1:
+            result = gf64_mul(result, base)
+        base = gf64_mul(base, base)
+        e >>= 1
+    return result
+
+
+def _clmul_vec(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized carry-less 64x64 -> 128-bit product as (hi, lo) lanes."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    lo = np.zeros(a.shape, dtype=np.uint64)
+    hi = np.zeros(a.shape, dtype=np.uint64)
+    one = np.uint64(1)
+    with np.errstate(over="ignore"):
+        for i in range(64):
+            shift = np.uint64(i)
+            bit = (b >> shift) & one
+            sel = np.uint64(0) - bit  # all-ones mask where bit set
+            lo ^= (a << shift) & sel
+            if i:
+                hi ^= (a >> np.uint64(64 - i)) & sel
+    return hi, lo
+
+
+def _gf64_reduce_vec(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Vectorized reduction of (hi, lo) modulo x^64 + x^4 + x^3 + x + 1."""
+    with np.errstate(over="ignore"):
+        # First fold: hi * x^64 ≡ hi * (x^4 + x^3 + x + 1).  The shifted
+        # terms overflow 64 bits by at most 4 bits; collect the overflow.
+        over = (
+            (hi >> np.uint64(60)) ^ (hi >> np.uint64(61)) ^ (hi >> np.uint64(63))
+        )
+        lo = (
+            lo
+            ^ (hi << np.uint64(4))
+            ^ (hi << np.uint64(3))
+            ^ (hi << np.uint64(1))
+            ^ hi
+        )
+        # Second fold: `over` < 2^4, its shifted terms cannot overflow.
+        lo ^= (
+            (over << np.uint64(4))
+            ^ (over << np.uint64(3))
+            ^ (over << np.uint64(1))
+            ^ over
+        )
+    return lo
+
+
+def gf64_mul_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized field product in GF(2^64) over uint64 arrays."""
+    hi, lo = _clmul_vec(a, b)
+    return _gf64_reduce_vec(hi, lo)
+
+
+def gf64_product(values: np.ndarray) -> int:
+    """Field product of all array elements (pairwise tree reduction).
+
+    Used by the GF(2^64) permutation fingerprint: the product of
+    ``(z XOR e_i)`` over all elements.  The tree shape keeps the number of
+    vectorized multiply passes at O(64 log n).
+    """
+    vals = np.asarray(values, dtype=np.uint64).ravel()
+    if vals.size == 0:
+        return 1
+    while vals.size > 1:
+        half = vals.size // 2
+        merged = gf64_mul_vec(vals[:half], vals[half : 2 * half])
+        if vals.size % 2:
+            merged = np.concatenate([merged, vals[-1:]])
+        vals = merged
+    return int(vals[0])

@@ -1,0 +1,72 @@
+"""Strong mixers and universal hashing.
+
+:class:`SplitMixHash` is the repository's stand-in for the paper's analytical
+"random hash function" model (§2 *Hashing*): a keyed SplitMix64 finalizer is
+a high-quality pseudorandom permutation of 64-bit inputs, so its truncations
+behave like uniform random values for the purposes of the checkers.
+
+:class:`MultiplyShiftHash` is the classic 2-universal ``(a*x) >> (64-l)``
+scheme of Dietzfelbinger et al.; it is the cheapest family and is used in
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import derive_seed, splitmix64, splitmix64_array
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class SplitMixHash:
+    """Keyed SplitMix64 finalizer truncated to ``out_bits``."""
+
+    def __init__(self, seed: int, out_bits: int = 64):
+        if not 1 <= out_bits <= 64:
+            raise ValueError(f"out_bits must be in 1..64, got {out_bits}")
+        self.seed = seed & _MASK64
+        self.bits = out_bits
+        self._mask = (1 << out_bits) - 1
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        mixed = splitmix64_array(keys ^ np.uint64(self.seed))
+        if self.bits < 64:
+            mixed &= np.uint64(self._mask)
+        return mixed
+
+    def hash_one(self, key: int) -> int:
+        return splitmix64((int(key) ^ self.seed) & _MASK64) & self._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SplitMixHash(seed={self.seed:#x}, out_bits={self.bits})"
+
+
+class MultiplyShiftHash:
+    """2-universal multiply-shift hashing: ``h(x) = (a*x mod 2^64) >> (64-l)``.
+
+    ``a`` is an odd 64-bit multiplier derived from the seed (Dietzfelbinger
+    et al. 1997).  Only 2-universal, so *not* sufficient for all checkers —
+    kept for the hash-family ablation.
+    """
+
+    def __init__(self, seed: int, out_bits: int = 32):
+        if not 1 <= out_bits <= 64:
+            raise ValueError(f"out_bits must be in 1..64, got {out_bits}")
+        self.seed = seed
+        self.bits = out_bits
+        self.multiplier = derive_seed(seed, "multiply-shift") | 1
+        self._shift = 64 - out_bits
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            product = keys * np.uint64(self.multiplier)
+        return product >> np.uint64(self._shift)
+
+    def hash_one(self, key: int) -> int:
+        return ((int(key) * self.multiplier) & _MASK64) >> self._shift
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MultiplyShiftHash(seed={self.seed:#x}, out_bits={self.bits})"

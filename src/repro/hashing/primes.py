@@ -1,0 +1,91 @@
+"""Primality testing and prime search for the polynomial permutation checker.
+
+Lemma 5 needs a prime ``r > max(n/δ, U-1)``; Theorem 6 instantiates
+``δ = 2^(1-w) * n`` so that by Bertrand's postulate ``r`` can be chosen in
+``[2^(w-1), 2^w]`` and residues fit one machine word.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import derive_seed, uniform_below
+
+# Deterministic Miller-Rabin witness set: correct for all n < 3.3 * 10^24
+# (Sorenson & Webster 2015), far beyond anything used here.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin (exact for every n this library produces)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def bertrand_prime(w: int) -> int:
+    """A prime in ``[2^(w-1), 2^w]`` (exists by Bertrand's postulate).
+
+    Returns the smallest such prime so the value is deterministic.
+    """
+    if w < 2:
+        raise ValueError(f"need w >= 2 to have a prime in [2^(w-1), 2^w], got {w}")
+    p = next_prime(1 << (w - 1))
+    if p > (1 << w):  # pragma: no cover - impossible by Bertrand's postulate
+        raise RuntimeError(f"no prime in [2^{w - 1}, 2^{w}]")
+    return p
+
+
+def random_prime_in_range(lo: int, hi: int, seed: int) -> int:
+    """A deterministic pseudorandom prime in ``[lo, hi]``.
+
+    Samples candidates with the seeded SplitMix64 stream; falls back to a
+    linear scan if the range is extremely sparse.  Raises if the range holds
+    no prime.
+    """
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    span = hi - lo + 1
+    state = derive_seed(seed, "prime-search")
+    for attempt in range(4 * max(1, span.bit_length()) + 64):
+        candidate = lo + uniform_below(derive_seed(state, attempt), span)
+        candidate |= 1
+        if lo <= candidate <= hi and is_prime(candidate):
+            return candidate
+    p = next_prime(lo)
+    if p <= hi:
+        return p
+    raise ValueError(f"no prime in [{lo}, {hi}]")

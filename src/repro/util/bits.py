@@ -1,0 +1,48 @@
+"""Small bit-manipulation helpers used by the hashing and checker layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest k with 2**k >= x (x must be positive).
+
+    This is the paper's ⌈log x⌉ used to size bucket indices and modulus
+    residues (e.g. a residue mod r with r ≤ 2r̂ needs ⌈log2(2r̂)⌉ bits).
+    """
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires a positive argument, got {x}")
+    return (x - 1).bit_length()
+
+
+def bit_length(x: int) -> int:
+    """Number of bits needed to represent ``x`` (0 -> 0)."""
+    return int(x).bit_length()
+
+
+def mask(bits: int) -> int:
+    """Bit mask with the low ``bits`` bits set."""
+    if bits < 0:
+        raise ValueError(f"mask width must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def popcount64(x: np.ndarray) -> np.ndarray:
+    """Vectorized population count over a uint64 array."""
+    x = x.astype(np.uint64, copy=True)
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    with np.errstate(over="ignore"):
+        x -= (x >> np.uint64(1)) & m1
+        x = (x & m2) + ((x >> np.uint64(2)) & m2)
+        x = (x + (x >> np.uint64(4))) & m4
+        x = (x * h01) >> np.uint64(56)
+    return x

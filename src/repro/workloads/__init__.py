@@ -1,0 +1,26 @@
+"""Workload generators matching the paper's experiments.
+
+* §7.1 sum aggregation: keys follow the bounded power law
+  ``f(k; N) = 1 / (k · H_N)`` ("naturally models many workloads, e.g.
+  wordcount over natural languages");
+* §7.2 permutation/sorting: integers uniform over ``0 .. 10^8 − 1``;
+* a synthetic wordcount corpus for the examples.
+"""
+
+from repro.workloads.zipf import ZipfGenerator, zipf_keys
+from repro.workloads.uniform import uniform_integers
+from repro.workloads.kv import (
+    aggregate_reference,
+    sum_workload,
+)
+from repro.workloads.wordcount import synthetic_corpus, word_to_key
+
+__all__ = [
+    "ZipfGenerator",
+    "zipf_keys",
+    "uniform_integers",
+    "aggregate_reference",
+    "sum_workload",
+    "synthetic_corpus",
+    "word_to_key",
+]

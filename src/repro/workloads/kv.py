@@ -1,0 +1,44 @@
+"""Key-value pair workloads and exact reference aggregations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.zipf import ZipfGenerator
+
+
+def sum_workload(
+    count: int,
+    num_keys: int = 10**6,
+    value_range: int = 1 << 20,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The §7.1 sum-aggregation workload: Zipf keys, uniform values.
+
+    Returns ``(keys uint64, values int64)`` with values uniform over
+    ``1 .. value_range`` (strictly positive so every element matters, as the
+    paper's ⊕ requirement ``x ⊕ y ≠ x for y ≠ 0`` presumes).
+    """
+    keys = ZipfGenerator(num_keys, seed).sample(count)
+    rng = np.random.default_rng(seed + 1)
+    values = rng.integers(1, value_range + 1, count, dtype=np.int64)
+    return keys, values
+
+
+def aggregate_reference(
+    keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact sequential sum aggregation (the trusted oracle for tests).
+
+    Returns per-key sums with keys in ascending order.
+    """
+    keys = np.asarray(keys, dtype=np.uint64).ravel()
+    values = np.asarray(values, dtype=np.int64).ravel()
+    if keys.size == 0:
+        return keys.copy(), values.copy()
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    sv = values[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], sk[1:] != sk[:-1])))
+    sums = np.add.reduceat(sv, boundaries)
+    return sk[boundaries], sums

@@ -1,0 +1,21 @@
+"""Uniform integer workload of §7.2 (permutation/sorting experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_integers(
+    count: int, universe: int = 10**8, seed: int = 0
+) -> np.ndarray:
+    """``count`` integers uniform over ``0 .. universe-1`` (uint64).
+
+    The paper's sorting workload uses ``count = 10^6`` and
+    ``universe = 10^8``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if universe < 1:
+        raise ValueError(f"universe must be >= 1, got {universe}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, count, dtype=np.uint64)

@@ -1,0 +1,50 @@
+"""Synthetic natural-language-like corpus for the wordcount example.
+
+Word frequencies follow the same power law the paper motivates ("wordcount
+over natural languages"); words are synthetic tokens so the corpus needs no
+external data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.crc32c import crc32c_bytes
+from repro.workloads.zipf import ZipfGenerator
+
+_SYLLABLES = (
+    "ka", "ro", "mi", "ta", "lu", "se", "no", "vi", "da", "pe",
+    "zu", "fa", "go", "he", "ri", "wa",
+)
+
+
+def _rank_to_word(rank: int) -> str:
+    """Deterministic pronounceable token per frequency rank."""
+    parts = []
+    rank += 1
+    while rank:
+        parts.append(_SYLLABLES[rank % len(_SYLLABLES)])
+        rank //= len(_SYLLABLES)
+    return "".join(parts)
+
+
+def synthetic_corpus(
+    num_words: int, vocabulary: int = 10_000, seed: int = 0
+) -> list[str]:
+    """A list of ``num_words`` tokens with Zipf-distributed frequencies."""
+    ranks = ZipfGenerator(vocabulary, seed).sample(num_words)
+    vocab = [_rank_to_word(r) for r in range(vocabulary)]
+    return [vocab[int(r)] for r in ranks]
+
+
+def word_to_key(word: str) -> int:
+    """Hash a token to a 64-bit key (CRC-32C over two seeds).
+
+    Wordcount over strings needs integer keys for the checkers; two
+    independent 32-bit CRCs give a 64-bit fingerprint whose collision
+    probability is negligible at example scale.
+    """
+    data = word.encode("utf-8")
+    lo = crc32c_bytes(data, 0)
+    hi = crc32c_bytes(data, 0x9E3779B9)
+    return (hi << 32) | lo

@@ -1,0 +1,50 @@
+"""Bounded power-law (Zipf) key distribution of §7.1.
+
+The element of rank k among N possible elements has frequency
+``f(k; N) = 1 / (k · H_N)`` where ``H_N`` is the N-th harmonic number —
+the classic Zipf law with exponent 1, truncated at N.  Sampling is by
+inverse CDF over the precomputed harmonic prefix sums (exact, vectorized).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfGenerator:
+    """Sampler for the rank-frequency law ``f(k; N) = 1/(k·H_N)``.
+
+    Ranks are returned 0-based (0 = most frequent key) so they double as
+    keys.  The CDF table costs O(N) memory once per generator.
+    """
+
+    def __init__(self, num_values: int, seed: int = 0):
+        if num_values < 1:
+            raise ValueError(f"num_values must be >= 1, got {num_values}")
+        self.num_values = num_values
+        self.seed = seed
+        weights = 1.0 / np.arange(1, num_values + 1, dtype=np.float64)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks (uint64) following the power law."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        u = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        return ranks.astype(np.uint64)
+
+    def pmf(self, rank: int) -> float:
+        """Probability of the 0-based ``rank``."""
+        if not 0 <= rank < self.num_values:
+            return 0.0
+        h_n = float(np.sum(1.0 / np.arange(1, self.num_values + 1)))
+        return 1.0 / ((rank + 1) * h_n)
+
+
+def zipf_keys(count: int, num_values: int, seed: int = 0) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`ZipfGenerator`."""
+    return ZipfGenerator(num_values, seed).sample(count)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.workloads.kv import sum_workload
+
+
+@pytest.fixture(scope="session")
+def kv_small():
+    """A small key-value workload with a known reference aggregation."""
+    return sum_workload(3_000, num_keys=300, seed=42)
+
+
+@pytest.fixture(params=[1, 2, 4])
+def ctx(request):
+    """SPMD contexts over 1, 2 and 4 PEs (most tests run on all three)."""
+    return Context(request.param)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

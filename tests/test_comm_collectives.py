@@ -1,0 +1,167 @@
+"""Tests for the collective operations over the thread-backed network."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+
+_ADD = lambda a, b: a + b  # noqa: E731
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+class TestBroadcast:
+    def test_from_root_zero(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.bcast("payload" if comm.rank == 0 else None))
+        assert out == ["payload"] * p
+
+    def test_from_other_root(self, p):
+        root = p - 1
+        ctx = Context(p)
+        out = ctx.run(
+            lambda comm: comm.bcast(
+                comm.rank * 10 if comm.rank == root else None, root=root
+            )
+        )
+        assert out == [root * 10] * p
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+class TestReduce:
+    def test_sum_to_root(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.reduce(comm.rank + 1, _ADD))
+        assert out[0] == p * (p + 1) // 2
+        assert all(v is None for v in out[1:]) or p == 1
+
+    def test_nonzero_root(self, p):
+        root = p // 2
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.reduce(1, _ADD, root=root))
+        assert out[root] == p
+
+    def test_allreduce(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.allreduce(comm.rank + 1, _ADD))
+        assert out == [p * (p + 1) // 2] * p
+
+    def test_allreduce_numpy_arrays(self, p):
+        ctx = Context(p)
+        out = ctx.run(
+            lambda comm: comm.allreduce(
+                np.full(3, comm.rank, dtype=np.int64), lambda a, b: a + b
+            )
+        )
+        expected = sum(range(p))
+        for arr in out:
+            assert np.array_equal(arr, np.full(3, expected))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+class TestGatherScan:
+    def test_gather(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.gather(comm.rank * 2))
+        assert out[0] == [2 * r for r in range(p)]
+
+    def test_allgather(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.allgather(chr(65 + comm.rank)))
+        expected = [chr(65 + r) for r in range(p)]
+        assert out == [expected] * p
+
+    def test_inclusive_scan(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.scan(comm.rank + 1, _ADD))
+        assert out == [r * (r + 1) // 2 + r + 1 for r in range(p)]
+
+    def test_exclusive_scan(self, p):
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.exscan(comm.rank + 1, _ADD, identity=0))
+        assert out == [r * (r + 1) // 2 for r in range(p)]
+
+    def test_exscan_max_with_none_identity(self, p):
+        def _max(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return max(a, b)
+
+        ctx = Context(p)
+        out = ctx.run(lambda comm: comm.exscan(comm.rank, _max, identity=None))
+        assert out[0] is None
+        assert out[1:] == list(range(p - 1))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+class TestAllToAll:
+    def test_direct(self, p):
+        ctx = Context(p)
+        out = ctx.run(
+            lambda comm: comm.alltoall(
+                [comm.rank * 100 + dst for dst in range(comm.size)]
+            )
+        )
+        for dst, received in enumerate(out):
+            assert received == [src * 100 + dst for src in range(p)]
+
+    def test_hypercube_matches_direct(self, p):
+        ctx = Context(p)
+        out = ctx.run(
+            lambda comm: comm.alltoall_hypercube(
+                [(comm.rank, dst) for dst in range(comm.size)]
+            )
+        )
+        for dst, received in enumerate(out):
+            assert received == [(src, dst) for src in range(p)]
+
+    def test_wrong_payload_count_raises(self, p):
+        from repro.comm.context import SPMDError
+
+        ctx = Context(p)
+        with pytest.raises(SPMDError):
+            ctx.run(lambda comm: comm.alltoall([0] * (comm.size + 1)))
+
+
+class TestHypercubeRequiresPowerOfTwo:
+    def test_rejects_p3(self):
+        from repro.comm.context import SPMDError
+
+        ctx = Context(3)
+        with pytest.raises(SPMDError):
+            ctx.run(lambda comm: comm.alltoall_hypercube([0, 1, 2]))
+
+
+class TestMessageComplexity:
+    """The collectives must use the textbook message counts (§2)."""
+
+    def test_broadcast_messages_logarithmic(self):
+        p = 8
+        ctx = Context(p)
+        ctx.run(lambda comm: comm.bcast(1 if comm.rank == 0 else None))
+        total_messages = sum(m.messages_sent for m in ctx.meters)
+        assert total_messages == p - 1  # binomial tree: exactly p-1 sends
+        per_pe = max(m.messages_sent for m in ctx.meters)
+        assert per_pe <= 3  # root sends ⌈log2 p⌉
+
+    def test_reduce_messages(self):
+        p = 8
+        ctx = Context(p)
+        ctx.run(lambda comm: comm.reduce(1, _ADD))
+        assert sum(m.messages_sent for m in ctx.meters) == p - 1
+
+    def test_alltoall_direct_messages(self):
+        p = 4
+        ctx = Context(p)
+        ctx.run(lambda comm: comm.alltoall([0] * comm.size))
+        for m in ctx.meters:
+            assert m.messages_sent == p - 1
+
+    def test_allreduce_volume_independent_of_rank_count_payload(self):
+        """All-reducing one word costs O(w) bytes per PE, not O(p·w)."""
+        p = 8
+        ctx = Context(p)
+        ctx.run(lambda comm: comm.allreduce(1, _ADD))
+        for m in ctx.meters:
+            assert m.volume <= 8 * 4  # a few words, never O(p) words

@@ -1,0 +1,113 @@
+"""Tests for the SPMD context, network plumbing and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context, SPMDError
+from repro.comm.network import Network
+
+
+class TestSplit:
+    def test_numpy_round_trip(self):
+        ctx = Context(4)
+        data = np.arange(103)
+        chunks = ctx.split(data)
+        assert len(chunks) == 4
+        assert np.array_equal(np.concatenate(chunks), data)
+
+    def test_balanced(self):
+        ctx = Context(4)
+        sizes = [len(c) for c in ctx.split(np.arange(103))]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_list_split(self):
+        ctx = Context(3)
+        chunks = ctx.split(list(range(10)))
+        assert sum(chunks, []) == list(range(10))
+
+    def test_fewer_items_than_pes(self):
+        ctx = Context(4)
+        chunks = ctx.split(np.arange(2))
+        assert sum(len(c) for c in chunks) == 2
+
+
+class TestRun:
+    def test_per_rank_args_tuple_splat(self):
+        ctx = Context(2)
+        out = ctx.run(lambda comm, a, b: a + b, per_rank_args=[(1, 2), (3, 4)])
+        assert out == [3, 7]
+
+    def test_common_args(self):
+        ctx = Context(2)
+        out = ctx.run(
+            lambda comm, chunk, factor: chunk * factor,
+            per_rank_args=[1, 2],
+            common_args=(10,),
+        )
+        assert out == [10, 20]
+
+    def test_exception_propagates_as_spmd_error(self):
+        ctx = Context(2)
+
+        def boom(comm):
+            if comm.rank == 1:
+                raise ValueError("deliberate")
+            return comm.rank
+
+        with pytest.raises(SPMDError) as exc_info:
+            ctx.run(boom)
+        assert 1 in exc_info.value.failures
+        assert "deliberate" in str(exc_info.value)
+
+    def test_single_pe_runs_inline(self):
+        ctx = Context(1)
+        assert ctx.run(lambda comm: comm.size) == [1]
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            Context(0)
+
+    def test_traffic_summary_after_run(self):
+        ctx = Context(4)
+        ctx.run(lambda comm: comm.allgather(comm.rank))
+        summary = ctx.traffic_summary()
+        assert summary["total_messages"] > 0
+        assert summary["bottleneck_bytes"] > 0
+        assert summary["model_time"] > 0
+
+
+class TestNetwork:
+    def test_point_to_point(self):
+        net = Network(2)
+        net.send(0, 1, b"hello")
+        assert net.recv(1, 0) == b"hello"
+        assert net.meters[0].bytes_sent == 5
+        assert net.meters[1].bytes_received == 5
+
+    def test_fifo_order(self):
+        net = Network(2)
+        for i in range(5):
+            net.send(0, 1, i)
+        assert [net.recv(1, 0) for _ in range(5)] == list(range(5))
+
+    def test_self_send_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 0, b"x")
+        with pytest.raises(ValueError):
+            net.recv(1, 1)
+
+    def test_rank_bounds(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 2, b"x")
+        with pytest.raises(ValueError):
+            net.send(-1, 0, b"x")
+
+    def test_pairwise_channels_are_independent(self):
+        net = Network(3)
+        net.send(0, 2, "a")
+        net.send(1, 2, "b")
+        # Receives select by source PE, not arrival order.
+        assert net.recv(2, 1) == "b"
+        assert net.recv(2, 0) == "a"

@@ -1,0 +1,95 @@
+"""Tests for the α–β cost model and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm.cost import (
+    CostModel,
+    TrafficMeter,
+    bottleneck_volume,
+    payload_nbytes,
+)
+
+
+class TestPayloadNbytes:
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalars(self):
+        assert payload_nbytes(42) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 1
+        assert payload_nbytes(np.int64(1)) == 8
+
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.int64)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.uint8)) == 10
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abc") == 3
+        assert payload_nbytes("abc") == 3
+
+    def test_containers(self):
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes((np.zeros(2, dtype=np.int64), 5)) == 24
+        assert payload_nbytes({1: 2}) == 16
+
+
+class TestCostModel:
+    def test_message_time(self):
+        cm = CostModel(alpha=1e-5, beta_per_byte=1e-9)
+        assert cm.message_time(0) == pytest.approx(1e-5)
+        assert cm.message_time(1000) == pytest.approx(1e-5 + 1e-6)
+
+    def test_t_coll_log_p(self):
+        cm = CostModel(alpha=1.0, beta_per_byte=0.0)
+        assert cm.t_coll(100, 1) == 0.0
+        assert cm.t_coll(100, 2) == pytest.approx(1.0)
+        assert cm.t_coll(100, 8) == pytest.approx(3.0)
+        assert cm.t_coll(100, 1024) == pytest.approx(10.0)
+
+    def test_t_all_to_all_direct_linear_in_p(self):
+        cm = CostModel(alpha=1.0, beta_per_byte=0.0)
+        assert cm.t_all_to_all(0, 16, direct=True) == pytest.approx(16.0)
+        assert cm.t_all_to_all(0, 16, direct=False) == pytest.approx(4.0)
+
+
+class TestTrafficMeter:
+    def test_accounting(self):
+        cm = CostModel()
+        m = TrafficMeter(0)
+        m.record_send(100, cm)
+        m.record_send(50, cm)
+        m.record_recv(10, cm)
+        assert m.bytes_sent == 150
+        assert m.bytes_received == 10
+        assert m.messages_sent == 2
+        assert m.messages_received == 1
+        assert m.volume == 150
+
+    def test_marks(self):
+        cm = CostModel()
+        m = TrafficMeter(0)
+        m.record_send(100, cm)
+        m.mark("phase")
+        m.record_send(7, cm)
+        m.record_recv(3, cm)
+        since = m.since("phase")
+        assert since == {
+            "bytes_sent": 7,
+            "bytes_received": 3,
+            "messages_sent": 1,
+            "messages_received": 1,
+        }
+
+    def test_unknown_mark_raises(self):
+        with pytest.raises(KeyError):
+            TrafficMeter(0).since("nope")
+
+    def test_bottleneck_volume(self):
+        cm = CostModel()
+        meters = [TrafficMeter(i) for i in range(3)]
+        meters[1].record_send(500, cm)
+        meters[2].record_recv(700, cm)
+        assert bottleneck_volume(meters) == 700
+        assert bottleneck_volume([]) == 0

@@ -1,0 +1,250 @@
+"""Tests for the average checker (§6.1, Cor 8) and zip checker (§6.4, Thm 11)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.core.average_checker import check_average_aggregation, reconstruct_sums
+from repro.core.params import SumCheckConfig
+from repro.core.zip_checker import check_zip, positional_fingerprint
+
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+class TestReconstructSums:
+    def test_exact_reconstruction(self):
+        sums, valid = reconstruct_sums([5, 7], [1, 1], [2, 3])
+        assert np.array_equal(sums, [10, 21])
+        assert valid.all()
+
+    def test_half_denominator(self):
+        sums, valid = reconstruct_sums([7], [2], [4])  # avg 3.5 of 4 values
+        assert sums[0] == 14 and valid[0]
+
+    def test_non_dividing_denominator_invalid(self):
+        _, valid = reconstruct_sums([7], [2], [3])
+        assert not valid[0]
+
+    def test_nonpositive_counts_invalid(self):
+        _, valid = reconstruct_sums([1, 1], [1, 1], [0, -2])
+        assert not valid.any()
+
+    def test_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            reconstruct_sums([2**60], [1], [2**10])
+
+
+class TestAverageChecker:
+    def _io(self):
+        keys = np.array([1, 1, 1, 2, 2], dtype=np.uint64)
+        values = np.array([4, 5, 9, 10, 20], dtype=np.int64)
+        return keys, values
+
+    def test_accepts_correct(self):
+        keys, values = self._io()
+        assert check_average_aggregation(
+            (keys, values),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([6, 15], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+            np.array([3, 2], dtype=np.int64),
+            config=STRONG,
+            seed=1,
+        ).accepted
+
+    def test_accepts_unreduced_fraction(self):
+        keys, values = self._io()
+        assert check_average_aggregation(
+            (keys, values),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([18, 30], dtype=np.int64),
+            np.array([3, 2], dtype=np.int64),
+            np.array([3, 2], dtype=np.int64),
+            config=STRONG,
+            seed=1,
+        ).accepted
+
+    def test_rejects_wrong_average(self):
+        keys, values = self._io()
+        assert not check_average_aggregation(
+            (keys, values),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([7, 15], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+            np.array([3, 2], dtype=np.int64),
+            config=STRONG,
+            seed=1,
+        ).accepted
+
+    def test_rejects_scaled_cheat(self):
+        """Doubled averages + halved counts reconstruct the same sums —
+        the count check (the paper's warning) must catch it."""
+        keys = np.array([1, 1, 1, 1], dtype=np.uint64)
+        values = np.array([5, 5, 5, 5], dtype=np.int64)
+        assert not check_average_aggregation(
+            (keys, values),
+            np.array([1], dtype=np.uint64),
+            np.array([10], dtype=np.int64),  # claimed average 10 (true: 5)
+            np.array([1], dtype=np.int64),
+            np.array([2], dtype=np.int64),  # claimed count 2 (true: 4)
+            config=STRONG,
+            seed=1,
+        ).accepted
+
+    def test_rejects_invalid_denominator(self):
+        keys, values = self._io()
+        assert not check_average_aggregation(
+            (keys, values),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([6, 15], dtype=np.int64),
+            np.array([2, 1], dtype=np.int64),  # den 2 does not divide 3
+            np.array([3, 2], dtype=np.int64),
+            config=STRONG,
+            seed=1,
+        ).accepted
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_round_trip(self, p):
+        from repro.dataflow.ops.aggregates import average_by_key
+        from repro.workloads.kv import sum_workload
+
+        keys, values = sum_workload(1_200, num_keys=60, seed=4)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            res = average_by_key(comm, k, v)
+            return check_average_aggregation(
+                (k, v), res.keys, res.numerators, res.denominators, res.counts,
+                config=STRONG, seed=6, comm=comm,
+            ).accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert verdicts == [True] * p
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_detects_fault(self, p):
+        from repro.dataflow.ops.aggregates import average_by_key
+        from repro.workloads.kv import sum_workload
+
+        keys, values = sum_workload(1_200, num_keys=60, seed=4)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            res = average_by_key(comm, k, v)
+            nums = res.numerators.copy()
+            if comm.rank == 0 and nums.size:
+                nums[0] += 1
+            return check_average_aggregation(
+                (k, v), res.keys, nums, res.denominators, res.counts,
+                config=STRONG, seed=6, comm=comm,
+            ).accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert verdicts == [False] * p
+
+
+class TestPositionalFingerprint:
+    def test_deterministic(self):
+        vals = np.arange(100, dtype=np.uint64)
+        assert positional_fingerprint(vals, 0, 7) == positional_fingerprint(
+            vals, 0, 7
+        )
+
+    def test_order_sensitive(self):
+        vals = np.arange(100, dtype=np.uint64)
+        swapped = vals.copy()
+        swapped[[0, 1]] = swapped[[1, 0]]
+        assert positional_fingerprint(vals, 0, 7) != positional_fingerprint(
+            swapped, 0, 7
+        )
+
+    def test_split_invariance(self):
+        """fp(whole) == fp(part1) + fp(part2 at offset) — the property that
+        makes it evaluable on distributed data (§6.4)."""
+        vals = np.arange(1000, dtype=np.uint64) * np.uint64(977)
+        whole = positional_fingerprint(vals, 0, 3)
+        p31 = (1 << 31) - 1
+        split = (
+            positional_fingerprint(vals[:400], 0, 3)
+            + positional_fingerprint(vals[400:], 400, 3)
+        ) % p31
+        assert whole == split
+
+    def test_empty(self):
+        assert positional_fingerprint(np.zeros(0, dtype=np.uint64), 0, 1) == 0
+
+
+class TestZipChecker:
+    def _data(self):
+        rng = np.random.default_rng(5)
+        s1 = rng.integers(0, 2**32, 800).astype(np.uint64)
+        s2 = rng.integers(0, 2**32, 800).astype(np.uint64)
+        return s1, s2
+
+    def test_accepts_correct_zip(self):
+        s1, s2 = self._data()
+        assert check_zip(s1, s2, s1, s2, seed=1).accepted
+
+    def test_detects_swap_within_first(self):
+        s1, s2 = self._data()
+        z1 = s1.copy()
+        z1[[10, 11]] = z1[[11, 10]]
+        assert not check_zip(s1, s2, z1, s2, seed=1).accepted
+
+    def test_detects_value_change_in_second(self):
+        s1, s2 = self._data()
+        z2 = s2.copy()
+        z2[5] += 1
+        assert not check_zip(s1, s2, s1, z2, seed=1).accepted
+
+    def test_detects_truncation(self):
+        s1, s2 = self._data()
+        assert not check_zip(s1, s2, s1[:-1], s2[:-1], seed=1).accepted
+
+    def test_component_length_mismatch_raises(self):
+        s1, s2 = self._data()
+        with pytest.raises(ValueError):
+            check_zip(s1, s2, s1, s2[:-1], seed=1)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_uneven_distributions(self, p):
+        """Inputs distributed differently from the output (the hard case)."""
+        from repro.dataflow.ops.zip_op import zip_arrays
+
+        s1, s2 = self._data()
+        ctx = Context(p)
+        splits_1 = ctx.split(s1)
+        # Skew S2's distribution heavily toward the last PE.
+        bounds = [0] + [50 * (i + 1) for i in range(p - 1)] + [s2.size]
+        splits_2 = [s2[bounds[i] : bounds[i + 1]] for i in range(p)]
+
+        def run(comm, a, b):
+            f, s = zip_arrays(comm, a, b)
+            return check_zip(a, b, f, s, seed=2, comm=comm).accepted
+
+        verdicts = ctx.run(run, per_rank_args=list(zip(splits_1, splits_2)))
+        assert verdicts == [True] * p
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_detects_reorder(self, p):
+        from repro.dataflow.ops.zip_op import zip_arrays
+
+        s1, s2 = self._data()
+        ctx = Context(p)
+
+        def run(comm, a, b):
+            f, s = zip_arrays(comm, a, b)
+            if comm.rank == 0 and f.size >= 2:
+                f = f.copy()
+                f[[0, 1]] = f[[1, 0]]
+            return check_zip(a, b, f, s, seed=2, comm=comm).accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(s1), ctx.split(s2)))
+        )
+        # The swap is detected unless the swapped elements were equal.
+        assert verdicts == [False] * p or s1[0] == s1[1]

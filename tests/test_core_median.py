@@ -1,0 +1,183 @@
+"""Tests for the median checker (§6.3, Algorithm 2, Theorem 10)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.core.median_checker import (
+    MedianCertificate,
+    check_median_aggregation,
+    signed_contributions,
+)
+from repro.core.params import SumCheckConfig
+
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+def _arrays(*xs):
+    return [np.asarray(x) for x in xs]
+
+
+class TestSignedContributions:
+    def test_balance_for_odd_unique(self):
+        keys = np.array([1] * 5, dtype=np.uint64)
+        values = np.array([10, 20, 30, 40, 50], dtype=np.int64)
+        _, contrib, ok = signed_contributions(
+            keys, values, np.zeros(5), [1], [30], [1], None
+        )
+        assert ok
+        assert contrib.sum() == 0
+        assert sorted(contrib.tolist()) == [-1, -1, 0, 1, 1]
+
+    def test_balance_for_even_unique(self):
+        keys = np.array([1] * 4, dtype=np.uint64)
+        values = np.array([1, 2, 4, 5], dtype=np.int64)
+        # median = 3 = 6/2 (den 2 keeps it exact)
+        _, contrib, ok = signed_contributions(
+            keys, values, np.zeros(4), [1], [6], [2], None
+        )
+        assert ok and contrib.sum() == 0
+
+    def test_missing_key_flags_structural_failure(self):
+        keys = np.array([1, 2], dtype=np.uint64)
+        values = np.array([5, 5], dtype=np.int64)
+        _, _, ok = signed_contributions(
+            keys, values, np.zeros(2), [1], [5], [1], None
+        )
+        assert not ok
+
+    def test_invalid_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            signed_contributions(
+                np.array([1], dtype=np.uint64),
+                np.array([5], dtype=np.int64),
+                np.zeros(1),
+                [1],
+                [5],
+                [3],
+                None,
+            )
+
+
+class TestUniqueValues:
+    def test_accepts_correct_odd(self):
+        keys = np.array([1, 1, 1, 2, 2, 2, 2], dtype=np.uint64)
+        values = np.array([10, 20, 30, 1, 2, 3, 4], dtype=np.int64)
+        assert check_median_aggregation(
+            keys, values, [1, 2], [20, 5], [1, 2], config=STRONG, seed=1
+        ).accepted
+
+    def test_rejects_wrong_median(self):
+        keys = np.array([1, 1, 1], dtype=np.uint64)
+        values = np.array([10, 20, 30], dtype=np.int64)
+        for wrong in (10, 15, 25, 30):
+            den = 1
+            assert not check_median_aggregation(
+                keys, values, [1], [wrong], [den], config=STRONG, seed=1
+            ).accepted
+
+    def test_rejects_half_integer_when_true_is_integer(self):
+        keys = np.array([1, 1, 1], dtype=np.uint64)
+        values = np.array([10, 20, 30], dtype=np.int64)
+        assert not check_median_aggregation(
+            keys, values, [1], [41], [2], config=STRONG, seed=1
+        ).accepted
+
+    def test_rejects_missing_input_key(self):
+        keys = np.array([1, 2], dtype=np.uint64)
+        values = np.array([5, 7], dtype=np.int64)
+        assert not check_median_aggregation(
+            keys, values, [1], [5], [1], config=STRONG, seed=1
+        ).accepted
+
+
+class TestTieBreaking:
+    def test_all_equal_values_with_certificate(self):
+        keys = np.array([1, 1, 1], dtype=np.uint64)
+        values = np.array([5, 5, 5], dtype=np.int64)
+        uids = np.array([10, 11, 12], dtype=np.int64)
+        cert = MedianCertificate(np.array([11]), np.array([11]))
+        assert check_median_aggregation(
+            keys, values, [1], [5], [1],
+            certificate=cert, input_uids=uids, config=STRONG, seed=1,
+        ).accepted
+
+    def test_wrong_designated_middle_rejected(self):
+        keys = np.array([1, 1, 1], dtype=np.uint64)
+        values = np.array([5, 5, 5], dtype=np.int64)
+        uids = np.array([10, 11, 12], dtype=np.int64)
+        for wrong_uid in (10, 12):
+            cert = MedianCertificate(np.array([wrong_uid]), np.array([wrong_uid]))
+            assert not check_median_aggregation(
+                keys, values, [1], [5], [1],
+                certificate=cert, input_uids=uids, config=STRONG, seed=1,
+            ).accepted
+
+    def test_fabricated_uid_rejected(self):
+        """A certificate naming a uid that does not exist cannot pass."""
+        keys = np.array([1, 1, 1], dtype=np.uint64)
+        values = np.array([5, 5, 5], dtype=np.int64)
+        uids = np.array([10, 11, 12], dtype=np.int64)
+        cert = MedianCertificate(np.array([99]), np.array([99]))
+        assert not check_median_aggregation(
+            keys, values, [1], [5], [1],
+            certificate=cert, input_uids=uids, config=STRONG, seed=1,
+        ).accepted
+
+    def test_even_count_with_ties(self):
+        keys = np.array([1, 1, 1, 1], dtype=np.uint64)
+        values = np.array([5, 5, 9, 9], dtype=np.int64)
+        uids = np.array([0, 1, 2, 3], dtype=np.int64)
+        # middles: second 5 (uid 1) and first 9 (uid 2) -> median 7.
+        cert = MedianCertificate(np.array([1]), np.array([2]))
+        assert check_median_aggregation(
+            keys, values, [1], [7], [1],
+            certificate=cert, input_uids=uids, config=STRONG, seed=1,
+        ).accepted
+        assert not check_median_aggregation(
+            keys, values, [1], [5], [1],
+            certificate=MedianCertificate(np.array([0]), np.array([1])),
+            input_uids=uids, config=STRONG, seed=1,
+        ).accepted
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_numpy_median_unique(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.permutation(100)[: 11 + seed].astype(np.int64)
+        keys = np.full(values.size, 3, dtype=np.uint64)
+        med = float(np.median(values))
+        num = int(round(med * 2))
+        if num % 2 == 0:
+            num, den = num // 2, 1
+        else:
+            den = 2
+        assert check_median_aggregation(
+            keys, values, [3], [num], [den], config=STRONG, seed=seed
+        ).accepted
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_round_trip_with_dataflow(self, p):
+        from repro.dataflow.ops.aggregates import median_by_key
+        from repro.workloads.kv import sum_workload
+
+        keys, values = sum_workload(900, num_keys=30, seed=9)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            res = median_by_key(comm, k, v)
+            offset = comm.exscan(int(k.size), op=lambda a, b: a + b, identity=0)
+            uids = offset + np.arange(k.size, dtype=np.int64)
+            return check_median_aggregation(
+                k, v, res.keys, res.numerators, res.denominators,
+                certificate=res.certificate, input_uids=uids,
+                config=STRONG, seed=2, comm=comm,
+            ).accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert verdicts == [True] * p

@@ -1,0 +1,146 @@
+"""Tests for checker parameterisation and the Table 2 reproduction."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE3_ACCURACY,
+    PAPER_TABLE3_SCALING,
+    PermCheckConfig,
+    SumCheckConfig,
+    optimize_parameters,
+    table3_expected_failure_rate,
+)
+
+
+class TestSumCheckConfig:
+    def test_failure_bound_formula(self):
+        cfg = SumCheckConfig(iterations=4, d=8, rhat=32)
+        assert cfg.single_iteration_failure_bound == pytest.approx(1 / 32 + 1 / 8)
+        assert cfg.failure_bound == pytest.approx((1 / 32 + 1 / 8) ** 4)
+
+    def test_table_bits(self):
+        # 4 iterations × 4 buckets × ⌈log2(2·8)⌉ = 4·4·4 = 64 (Table 3 row).
+        assert SumCheckConfig(4, 4, 8).table_bits == 64
+        assert SumCheckConfig(5, 16, 32).table_bits == 480
+
+    def test_label_round_trip(self):
+        for label in ("4x8 m5", "1x2 m31", "16x16 Tab64 m15", "5x128 Tab64 m11"):
+            cfg = SumCheckConfig.parse(label)
+            assert SumCheckConfig.parse(cfg.label()) == cfg
+
+    def test_parse_unicode_times(self):
+        cfg = SumCheckConfig.parse("4×8 CRC m5")
+        assert (cfg.iterations, cfg.d, cfg.rhat) == (4, 8, 32)
+        assert cfg.hash_family == "CRC"
+
+    def test_parse_defaults_to_mix(self):
+        assert SumCheckConfig.parse("4x8 m5").hash_family == "Mix"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "4x8", "x8 m5", "4x8 m", "4-8 m5"):
+            with pytest.raises(ValueError):
+                SumCheckConfig.parse(bad)
+
+    def test_with_hash(self):
+        cfg = SumCheckConfig.parse("4x8 m5").with_hash("CRC")
+        assert cfg.hash_family == "CRC"
+        assert cfg.d == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SumCheckConfig(0, 8, 32)
+        with pytest.raises(ValueError):
+            SumCheckConfig(1, 1, 32)
+        with pytest.raises(ValueError):
+            SumCheckConfig(1, 8, 1)
+
+
+class TestTable2:
+    """The headline exact reproduction: every row, digit for digit."""
+
+    @pytest.mark.parametrize(
+        "row", PAPER_TABLE2_ROWS, ids=lambda r: f"b{r['b']}-d{r['delta']:.0e}"
+    )
+    def test_row_matches_paper(self, row):
+        cfg = optimize_parameters(row["b"], row["delta"])
+        assert cfg.d == row["d"]
+        assert (cfg.rhat - 1).bit_length() == row["log_rhat"]
+        assert cfg.iterations == row["its"]
+        # Achieved δ matches the paper's 2-significant-digit value.
+        assert cfg.failure_bound == pytest.approx(row["achieved"], rel=0.05)
+
+    def test_result_satisfies_constraints(self):
+        for row in PAPER_TABLE2_ROWS:
+            cfg = optimize_parameters(row["b"], row["delta"])
+            assert cfg.table_bits <= row["b"]
+            assert cfg.failure_bound <= row["delta"]
+
+    def test_minimality_of_iterations(self):
+        """One fewer iteration cannot reach δ within the bit budget."""
+        for row in PAPER_TABLE2_ROWS[:6]:
+            cfg = optimize_parameters(row["b"], row["delta"])
+            if cfg.iterations == 1:
+                continue
+            t = cfg.iterations - 1
+            best = math.inf
+            for m in range(1, 41):
+                d = row["b"] // (t * (m + 1))
+                if d >= 2:
+                    best = min(best, (2.0**-m + 1.0 / d) ** t)
+            assert best > row["delta"]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimize_parameters(4, 1e-4)
+        with pytest.raises(ValueError):
+            optimize_parameters(1024, 0.0)
+        with pytest.raises(ValueError):
+            optimize_parameters(1024, 1.5)
+
+
+class TestTable3:
+    def test_accuracy_block_parses(self):
+        for label in PAPER_TABLE3_ACCURACY:
+            cfg = SumCheckConfig.parse(label)
+            assert cfg.failure_bound < 1
+
+    def test_scaling_block_hash_families(self):
+        families = {SumCheckConfig.parse(l).hash_family for l in PAPER_TABLE3_SCALING}
+        assert families == {"CRC", "Tab64"}
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("1x2 m31", 5e-1),
+            ("4x4 m3", 2e-2),
+            ("4x8 m5", 6e-4),
+            ("8x16 CRC m15", 2.3e-10),
+            ("16x16 Tab64 m15", 5.4e-20),
+        ],
+    )
+    def test_delta_column(self, label, expected):
+        assert table3_expected_failure_rate(label) == pytest.approx(
+            expected, rel=0.1
+        )
+
+
+class TestPermCheckConfig:
+    def test_failure_bound(self):
+        assert PermCheckConfig(log_h=4).failure_bound == pytest.approx(1 / 16)
+        assert PermCheckConfig(log_h=4, iterations=2).failure_bound == (
+            pytest.approx(1 / 256)
+        )
+
+    def test_label(self):
+        assert PermCheckConfig(log_h=8, hash_family="CRC").label() == "CRC8"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PermCheckConfig(log_h=0)
+        with pytest.raises(ValueError):
+            PermCheckConfig(log_h=65)
+        with pytest.raises(ValueError):
+            PermCheckConfig(log_h=4, iterations=0)

@@ -1,0 +1,286 @@
+"""Tests for the §4 sum-aggregation checker (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SumCheckConfig
+from repro.core.sum_checker import (
+    SumAggregationChecker,
+    check_count_aggregation,
+    check_sum_aggregation,
+)
+from repro.workloads.kv import aggregate_reference, sum_workload
+
+CFG = SumCheckConfig.parse("4x8 m15")
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    keys, values = sum_workload(5_000, num_keys=400, seed=11)
+    out_k, out_v = aggregate_reference(keys, values)
+    return keys, values, out_k, out_v
+
+
+class TestOneSidedError:
+    """A checker must never reject a correct result."""
+
+    def test_accepts_correct_result(self, workload):
+        keys, values, out_k, out_v = workload
+        for seed in range(25):
+            result = check_sum_aggregation(
+                (keys, values), (out_k, out_v), CFG, seed=seed
+            )
+            assert result.accepted, f"false rejection at seed {seed}"
+
+    def test_accepts_permuted_output(self, workload):
+        keys, values, out_k, out_v = workload
+        perm = np.random.default_rng(0).permutation(out_k.size)
+        result = check_sum_aggregation(
+            (keys, values), (out_k[perm], out_v[perm]), CFG, seed=3
+        )
+        assert result.accepted
+
+    def test_accepts_distributed_output_split(self, workload):
+        """The asserted result may live anywhere — only multisets matter."""
+        keys, values, out_k, out_v = workload
+        # Split one key's sum into two partial entries is NOT allowed (it
+        # changes the multiset) — but splitting the key *list* is fine.
+        half = out_k.size // 2
+        checker = SumAggregationChecker(CFG, seed=5)
+        t1 = checker.local_tables(out_k[:half], out_v[:half])
+        t2 = checker.local_tables(out_k[half:], out_v[half:])
+        combined = checker.combine(t1, t2)
+        full = checker.local_tables(out_k, out_v)
+        assert np.array_equal(combined, full)
+
+    def test_empty_input_empty_output(self):
+        empty = (np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert check_sum_aggregation(empty, empty, CFG, seed=1).accepted
+
+
+class TestDetection:
+    def test_single_value_off_by_one(self, workload):
+        keys, values, out_k, out_v = workload
+        bad = out_v.copy()
+        bad[7] += 1
+        result = check_sum_aggregation((keys, values), (out_k, bad), STRONG, seed=2)
+        assert not result.accepted
+
+    def test_dropped_key(self, workload):
+        keys, values, out_k, out_v = workload
+        result = check_sum_aggregation(
+            (keys, values), (out_k[1:], out_v[1:]), STRONG, seed=2
+        )
+        assert not result.accepted
+
+    def test_extra_key(self, workload):
+        keys, values, out_k, out_v = workload
+        ek = np.append(out_k, np.uint64(10**9))
+        ev = np.append(out_v, np.int64(1))
+        result = check_sum_aggregation((keys, values), (ek, ev), STRONG, seed=2)
+        assert not result.accepted
+
+    def test_swapped_keys(self, workload):
+        keys, values, out_k, out_v = workload
+        bad_k = out_k.copy()
+        # Swap the sums of two keys with different sums.
+        i, j = 0, 1
+        assert out_v[i] != out_v[j] or True
+        bad_v = out_v.copy()
+        bad_v[i], bad_v[j] = out_v[j], out_v[i]
+        if bad_v[i] != out_v[i]:
+            result = check_sum_aggregation(
+                (keys, values), (bad_k, bad_v), STRONG, seed=2
+            )
+            assert not result.accepted
+
+    def test_detection_rate_matches_bound(self):
+        """Weak config (1x2 m31): single-key faults evade with P ≈ 1/2."""
+        cfg = SumCheckConfig(iterations=1, d=2, rhat=1 << 31)
+        misses = 0
+        trials = 400
+        for seed in range(trials):
+            checker = SumAggregationChecker(cfg, seed)
+            if not checker.detects_delta(
+                np.array([123], dtype=np.uint64), np.array([5], dtype=np.int64)
+            ):
+                misses += 1
+        # P[miss] = P[both keys同bucket]... single key: delta lands in one
+        # bucket; the diff is nonzero there unless 5 ≡ 0 mod r (impossible
+        # for r > 5) — wait: a single-key delta is ALWAYS detected for d≥1.
+        assert misses == 0
+
+    def test_two_key_cancellation_rate(self):
+        """Two opposite deltas evade iff hashed to the same bucket (P=1/d)."""
+        cfg = SumCheckConfig(iterations=1, d=2, rhat=1 << 31)
+        misses = sum(
+            not SumAggregationChecker(cfg, seed).detects_delta(
+                np.array([123, 456], dtype=np.uint64),
+                np.array([5, -5], dtype=np.int64),
+            )
+            for seed in range(600)
+        )
+        assert 0.4 < misses / 600 < 0.6  # expect 1/2
+
+
+class TestDeltaShortcut:
+    """detects_delta must agree exactly with the full check."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_agreement_on_random_faults(self, seed):
+        rng = np.random.default_rng(seed)
+        keys, values = sum_workload(500, num_keys=50, seed=seed)
+        out_k, out_v = aggregate_reference(keys, values)
+        # Random sparse fault on the output.
+        idx = rng.integers(out_k.size)
+        delta = int(rng.integers(1, 100))
+        bad_v = out_v.copy()
+        bad_v[idx] += delta
+        cfg = SumCheckConfig(iterations=1, d=2, rhat=8)  # weak → misses occur
+        checker = SumAggregationChecker(cfg, seed=seed * 17)
+        full = checker.check_local((keys, values), (out_k, bad_v))
+        shortcut = checker.detects_delta(
+            np.array([out_k[idx]], dtype=np.uint64),
+            np.array([delta], dtype=np.int64),
+        )
+        assert full.accepted == (not shortcut)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "label", ["4x8 m5", "1x2 m31", "8x16 m15", "3x37 m7"]
+    )
+    def test_pack_unpack_round_trip(self, label):
+        cfg = SumCheckConfig.parse(label)
+        checker = SumAggregationChecker(cfg, seed=1)
+        rng = np.random.default_rng(0)
+        table = np.stack(
+            [
+                rng.integers(0, int(m), cfg.d, dtype=np.int64)
+                for m in checker.moduli
+            ]
+        )
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
+
+    def test_packed_size_matches_table_bits(self):
+        cfg = SumCheckConfig.parse("8x16 m15")
+        checker = SumAggregationChecker(cfg, seed=1)
+        table = np.zeros((cfg.iterations, cfg.d), dtype=np.int64)
+        packed = checker.pack(table)
+        assert len(packed) == (cfg.table_bits + 7) // 8
+
+
+class TestModuli:
+    def test_in_half_open_interval(self):
+        cfg = SumCheckConfig.parse("8x16 m5")
+        for seed in range(20):
+            checker = SumAggregationChecker(cfg, seed)
+            assert np.all(checker.moduli > cfg.rhat)
+            assert np.all(checker.moduli <= 2 * cfg.rhat)
+
+    def test_vary_across_iterations_and_seeds(self):
+        cfg = SumCheckConfig.parse("8x16 m15")
+        a = SumAggregationChecker(cfg, 1).moduli
+        b = SumAggregationChecker(cfg, 2).moduli
+        assert not np.array_equal(a, b)
+        assert len(set(a.tolist())) > 1
+
+
+class TestXorOperator:
+    def test_accepts_correct_xor_aggregation(self):
+        keys = np.array([1, 1, 2, 2, 2], dtype=np.uint64)
+        values = np.array([3, 5, 7, 9, 11], dtype=np.int64)
+        out_k = np.array([1, 2], dtype=np.uint64)
+        out_v = np.array([3 ^ 5, 7 ^ 9 ^ 11], dtype=np.int64)
+        result = check_sum_aggregation(
+            (keys, values), (out_k, out_v), STRONG, seed=1, operator="xor"
+        )
+        assert result.accepted
+
+    def test_detects_xor_fault(self):
+        keys = np.array([1, 1, 2], dtype=np.uint64)
+        values = np.array([3, 5, 7], dtype=np.int64)
+        out_k = np.array([1, 2], dtype=np.uint64)
+        out_v = np.array([3 ^ 5 ^ 1, 7], dtype=np.int64)
+        result = check_sum_aggregation(
+            (keys, values), (out_k, out_v), STRONG, seed=1, operator="xor"
+        )
+        assert not result.accepted
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            SumAggregationChecker(CFG, 0, operator="min")
+
+
+class TestCountAggregation:
+    def test_accepts_correct_counts(self):
+        keys = np.array([5, 5, 5, 9], dtype=np.uint64)
+        out = (np.array([5, 9], dtype=np.uint64), np.array([3, 1], dtype=np.int64))
+        assert check_count_aggregation(keys, out, STRONG, seed=1).accepted
+
+    def test_detects_wrong_count(self):
+        keys = np.array([5, 5, 5, 9], dtype=np.uint64)
+        out = (np.array([5, 9], dtype=np.uint64), np.array([2, 1], dtype=np.int64))
+        assert not check_count_aggregation(keys, out, STRONG, seed=1).accepted
+
+
+class TestInputValidation:
+    def test_float_values_rejected(self):
+        with pytest.raises(TypeError):
+            check_sum_aggregation(
+                (np.array([1], dtype=np.uint64), np.array([1.5])),
+                (np.array([1], dtype=np.uint64), np.array([1], dtype=np.int64)),
+                CFG,
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            check_sum_aggregation(
+                (np.array([1, 2], dtype=np.uint64), np.array([1], dtype=np.int64)),
+                (np.array([1], dtype=np.uint64), np.array([1], dtype=np.int64)),
+                CFG,
+            )
+
+    def test_signed_keys_coerced(self):
+        keys = np.array([-1, 5], dtype=np.int64)
+        values = np.array([2, 3], dtype=np.int64)
+        result = check_sum_aggregation((keys, values), (keys, values), CFG, seed=1)
+        assert result.accepted
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_matches_sequential(self, p, workload):
+        from repro.comm.context import Context
+
+        keys, values, out_k, out_v = workload
+        bad_v = out_v.copy()
+        bad_v[0] += 1
+        ctx = Context(p)
+        key_chunks = ctx.split(keys)
+        val_chunks = ctx.split(values)
+        ok_chunks = ctx.split(out_k)
+        ov_chunks = ctx.split(out_v)
+        bad_chunks = ctx.split(bad_v)
+
+        def good(comm, k, v, ok, ov):
+            return check_sum_aggregation(
+                (k, v), (ok, ov), STRONG, seed=9, comm=comm
+            ).accepted
+
+        verdicts = ctx.run(
+            good,
+            per_rank_args=list(
+                zip(key_chunks, val_chunks, ok_chunks, ov_chunks)
+            ),
+        )
+        assert verdicts == [True] * p
+
+        verdicts = ctx.run(
+            good,
+            per_rank_args=list(
+                zip(key_chunks, val_chunks, ok_chunks, bad_chunks)
+            ),
+        )
+        assert verdicts == [False] * p

@@ -1,0 +1,310 @@
+"""Tests for the mini-Thrill dataflow operations."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context, SPMDError
+from repro.core.groupby_checker import default_partitioner
+from repro.dataflow.exchange import exchange_by_destination, global_offset
+from repro.dataflow.ops.group_by_key import group_by_key
+from repro.dataflow.ops.join import hash_join
+from repro.dataflow.ops.merge import merge_sorted
+from repro.dataflow.ops.reduce_by_key import local_aggregate, reduce_by_key
+from repro.dataflow.ops.sort import sample_sort
+from repro.dataflow.ops.union import union_arrays
+from repro.dataflow.ops.zip_op import zip_arrays
+from repro.workloads.kv import aggregate_reference, sum_workload
+
+
+class TestExchange:
+    def test_routing(self):
+        ctx = Context(3)
+
+        def run(comm):
+            keys = np.arange(9, dtype=np.uint64) + comm.rank * 9
+            dests = (keys % np.uint64(3)).astype(np.int64)
+            (received,) = exchange_by_destination(comm, dests, keys)
+            return received
+
+        out = ctx.run(run)
+        for rank, received in enumerate(out):
+            assert np.all(received % 3 == rank)
+        total = np.sort(np.concatenate(out))
+        assert np.array_equal(total, np.arange(27, dtype=np.uint64))
+
+    def test_multiple_columns_stay_aligned(self):
+        ctx = Context(2)
+
+        def run(comm):
+            keys = np.arange(10, dtype=np.uint64)
+            vals = keys.astype(np.int64) * 7
+            dests = (keys % np.uint64(2)).astype(np.int64)
+            k, v = exchange_by_destination(comm, dests, keys, vals)
+            return bool(np.all(v == k.astype(np.int64) * 7))
+
+        assert ctx.run(run) == [True, True]
+
+    def test_out_of_range_destination_rejected(self):
+        ctx = Context(2)
+        with pytest.raises(SPMDError):
+            ctx.run(
+                lambda comm: exchange_by_destination(
+                    comm,
+                    np.array([5], dtype=np.int64),
+                    np.array([1], dtype=np.uint64),
+                )
+            )
+
+    def test_global_offset(self):
+        ctx = Context(4)
+        out = ctx.run(lambda comm: global_offset(comm, comm.rank + 1))
+        assert out == [0, 1, 3, 6]
+
+    def test_sequential_identity(self):
+        keys = np.arange(5, dtype=np.uint64)
+        (out,) = exchange_by_destination(None, np.zeros(5, dtype=np.int64), keys)
+        assert np.array_equal(out, keys)
+
+
+class TestLocalAggregate:
+    def test_matches_reference(self, kv_small):
+        keys, values = kv_small
+        lk, lv = local_aggregate(keys, values)
+        rk, rv = aggregate_reference(keys, values)
+        assert np.array_equal(lk, rk) and np.array_equal(lv, rv)
+
+    def test_empty(self):
+        k, v = local_aggregate(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+        )
+        assert k.size == 0 and v.size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            local_aggregate(np.array([1], dtype=np.uint64), np.array([1, 2]))
+
+
+class TestReduceByKey:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_reference(self, p, kv_small):
+        keys, values = kv_small
+        ref_k, ref_v = aggregate_reference(keys, values)
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, k, v: reduce_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        got_k = np.concatenate([o[0] for o in outs])
+        got_v = np.concatenate([o[1] for o in outs])
+        order = np.argsort(got_k)
+        assert np.array_equal(got_k[order], ref_k)
+        assert np.array_equal(got_v[order], ref_v)
+
+    def test_keys_are_disjoint_across_pes(self, kv_small):
+        keys, values = kv_small
+        ctx = Context(4)
+        outs = ctx.run(
+            lambda comm, k, v: reduce_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        all_keys = np.concatenate([o[0] for o in outs])
+        assert len(np.unique(all_keys)) == all_keys.size
+
+
+class TestGroupByKey:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_groups_complete(self, p, kv_small):
+        keys, values = kv_small
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, k, v: group_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        total = 0
+        seen_keys = []
+        for uk, groups in outs:
+            seen_keys.extend(uk.tolist())
+            total += sum(g.size for g in groups)
+        assert total == keys.size
+        assert len(seen_keys) == len(set(seen_keys))  # each key at one PE
+
+    def test_group_sums_match_reference(self, kv_small):
+        keys, values = kv_small
+        ref_k, ref_v = aggregate_reference(keys, values)
+        ref = dict(zip(ref_k.tolist(), ref_v.tolist()))
+        ctx = Context(4)
+        outs = ctx.run(
+            lambda comm, k, v: group_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        for uk, groups in outs:
+            for key, group in zip(uk.tolist(), groups):
+                assert int(group.sum()) == ref[key]
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_sorts(self, p):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 10**7, 5_000).astype(np.uint64)
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, c: sample_sort(comm, c), per_rank_args=ctx.split(data)
+        )
+        merged = np.concatenate(outs)
+        assert np.array_equal(merged, np.sort(data))
+
+    def test_skewed_input(self):
+        data = np.concatenate(
+            [np.zeros(3_000, dtype=np.uint64), np.arange(100, dtype=np.uint64)]
+        )
+        ctx = Context(4)
+        outs = ctx.run(
+            lambda comm, c: sample_sort(comm, c), per_rank_args=ctx.split(data)
+        )
+        assert np.array_equal(np.concatenate(outs), np.sort(data))
+
+    def test_empty_pe(self):
+        ctx = Context(4)
+        chunks = [
+            np.arange(100, dtype=np.uint64),
+            np.zeros(0, dtype=np.uint64),
+            np.arange(50, dtype=np.uint64),
+            np.zeros(0, dtype=np.uint64),
+        ]
+        outs = ctx.run(lambda comm, c: sample_sort(comm, c), per_rank_args=chunks)
+        expected = np.sort(np.concatenate(chunks))
+        assert np.array_equal(np.concatenate(outs), expected)
+
+
+class TestMergeZipUnionJoin:
+    def test_merge_sorted(self):
+        rng = np.random.default_rng(2)
+        a = np.sort(rng.integers(0, 1000, 300).astype(np.uint64))
+        b = np.sort(rng.integers(0, 1000, 200).astype(np.uint64))
+        ctx = Context(2)
+        outs = ctx.run(
+            lambda comm, x, y: merge_sorted(comm, x, y),
+            per_rank_args=list(zip(ctx.split(a), ctx.split(b))),
+        )
+        merged = np.concatenate(outs)
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+
+    def test_zip_rejects_unequal_lengths(self):
+        ctx = Context(2)
+        with pytest.raises(SPMDError):
+            ctx.run(
+                lambda comm: zip_arrays(
+                    comm,
+                    np.arange(comm.rank + 1, dtype=np.uint64),
+                    np.arange(5, dtype=np.uint64),
+                )
+            )
+
+    def test_union_is_local_concat(self):
+        out = union_arrays(None, np.array([1, 2]), np.array([3]))
+        assert out.tolist() == [1, 2, 3]
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_hash_join_row_count(self, p):
+        rk = np.array([1, 2, 2, 3], dtype=np.uint64)
+        rv = np.array([10, 20, 21, 30], dtype=np.int64)
+        sk = np.array([2, 2, 3, 9], dtype=np.uint64)
+        sv = np.array([200, 201, 300, 900], dtype=np.int64)
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, a, b, c, d: hash_join(comm, (a, b), (c, d)).keys.size,
+            per_rank_args=list(
+                zip(ctx.split(rk), ctx.split(rv), ctx.split(sk), ctx.split(sv))
+            ),
+        )
+        # key 2: 2x2 = 4 pairs; key 3: 1x1 = 1 pair.
+        assert sum(outs) == 5
+
+    def test_hash_join_pairs_correct(self):
+        rk = np.array([7, 7], dtype=np.uint64)
+        rv = np.array([1, 2], dtype=np.int64)
+        sk = np.array([7], dtype=np.uint64)
+        sv = np.array([9], dtype=np.int64)
+        jx = hash_join(None, (rk, rv), (sk, sv))
+        got = sorted(zip(jx.keys.tolist(), jx.r_values.tolist(), jx.s_values.tolist()))
+        assert got == [(7, 1, 9), (7, 2, 9)]
+
+
+class TestAggregatesAgainstNumpy:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_median_by_key_matches_numpy(self, p):
+        from repro.dataflow.ops.aggregates import median_by_key
+
+        keys, values = sum_workload(600, num_keys=20, seed=8)
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, k, v: median_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        res = outs[0]
+        for key, num, den in zip(
+            res.keys.tolist(), res.numerators.tolist(), res.denominators.tolist()
+        ):
+            expected = float(np.median(values[keys == key]))
+            assert num / den == pytest.approx(expected)
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_min_max_by_key_match_numpy(self, p):
+        from repro.dataflow.ops.aggregates import max_by_key, min_by_key
+
+        keys, values = sum_workload(600, num_keys=20, seed=9)
+        ctx = Context(p)
+        mins = ctx.run(
+            lambda comm, k, v: min_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )[0]
+        maxs = ctx.run(
+            lambda comm, k, v: max_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )[0]
+        for key, mn in zip(mins.keys.tolist(), mins.values.tolist()):
+            assert mn == values[keys == key].min()
+        for key, mx in zip(maxs.keys.tolist(), maxs.values.tolist()):
+            assert mx == values[keys == key].max()
+
+    def test_min_owner_actually_holds_minimum(self):
+        from repro.dataflow.ops.aggregates import min_by_key
+
+        keys, values = sum_workload(600, num_keys=20, seed=10)
+        ctx = Context(4)
+        key_chunks = ctx.split(keys)
+        val_chunks = ctx.split(values)
+        res = ctx.run(
+            lambda comm, k, v: min_by_key(comm, k, v),
+            per_rank_args=list(zip(key_chunks, val_chunks)),
+        )[0]
+        for key, mn, owner in zip(
+            res.keys.tolist(), res.values.tolist(), res.owners.tolist()
+        ):
+            k_chunk = key_chunks[owner]
+            v_chunk = val_chunks[owner]
+            assert mn in v_chunk[k_chunk == key]
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_average_by_key_exact_fractions(self, p):
+        from repro.dataflow.ops.aggregates import average_by_key
+        from math import gcd
+
+        keys, values = sum_workload(600, num_keys=20, seed=11)
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm, k, v: average_by_key(comm, k, v),
+            per_rank_args=list(zip(ctx.split(keys), ctx.split(values))),
+        )
+        for res in outs:
+            for key, num, den, count in zip(
+                res.keys.tolist(),
+                res.numerators.tolist(),
+                res.denominators.tolist(),
+                res.counts.tolist(),
+            ):
+                mask = keys == key
+                assert count == int(mask.sum())
+                assert num / den == pytest.approx(values[mask].mean())
+                assert gcd(abs(num), den) == 1  # lowest terms

@@ -1,0 +1,294 @@
+"""Tests for the chainable DIA API and the new checked pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.core.params import SumCheckConfig
+from repro.dataflow.dia import DIA, KeyValueDIA
+from repro.dataflow.pipeline import checked_join
+from repro.workloads.kv import aggregate_reference, sum_workload
+from repro.workloads.uniform import uniform_integers
+
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+class TestDIALocalOps:
+    def test_map_filter_chain(self):
+        dia = DIA(None, np.arange(10))
+        out = dia.map(lambda x: x * 3).filter(lambda x: x % 2 == 0)
+        assert out.collect_local().tolist() == [0, 6, 12, 18, 24]
+
+    def test_size_distributed(self):
+        ctx = Context(4)
+        out = ctx.run(lambda comm: DIA(comm, np.arange(comm.rank + 1)).size())
+        assert out == [10] * 4
+
+    def test_collect_assembles_everything(self):
+        ctx = Context(3)
+        out = ctx.run(
+            lambda comm: DIA(comm, np.full(2, comm.rank)).collect().tolist()
+        )
+        assert out == [[0, 0, 1, 1, 2, 2]] * 3
+
+    def test_kv_requires_alignment(self):
+        with pytest.raises(ValueError):
+            KeyValueDIA(None, np.arange(3), np.arange(4))
+
+    def test_kv_map_and_filter(self):
+        kv = KeyValueDIA(None, np.arange(6), np.arange(6) * 10)
+        out = kv.map_pairs(lambda k, v: (k, v + 1)).filter_pairs(
+            lambda k, v: k >= 3
+        )
+        keys, values = out.collect_local()
+        assert keys.tolist() == [3, 4, 5]
+        assert values.tolist() == [31, 41, 51]
+
+
+class TestDIADistributedChecked:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_sort_checked(self, p):
+        data = uniform_integers(3_000, seed=1)
+        ctx = Context(p)
+
+        def run(comm, chunk):
+            out, verdict = DIA(comm, chunk).sort_checked(seed=2)
+            return out.collect_local(), verdict.accepted
+
+        outs = ctx.run(run, per_rank_args=ctx.split(data))
+        assert all(o[1] for o in outs)
+        assert np.array_equal(
+            np.concatenate([o[0] for o in outs]), np.sort(data)
+        )
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_reduce_by_key_checked(self, p):
+        keys, values = sum_workload(2_000, num_keys=100, seed=3)
+        ref_k, ref_v = aggregate_reference(keys, values)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            out, verdict = (
+                DIA(comm, k).with_values(v).reduce_by_key_checked(STRONG, seed=4)
+            )
+            return out.collect_local(), verdict.accepted
+
+        outs = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert all(o[1] for o in outs)
+        got_k = np.concatenate([o[0][0] for o in outs])
+        got_v = np.concatenate([o[0][1] for o in outs])
+        order = np.argsort(got_k)
+        assert np.array_equal(got_k[order], ref_k)
+        assert np.array_equal(got_v[order], ref_v)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_union_and_merge_checked(self, p):
+        a = np.sort(uniform_integers(1_000, seed=5))
+        b = np.sort(uniform_integers(800, seed=6))
+        ctx = Context(p)
+
+        def run(comm, ca, cb):
+            da, db = DIA(comm, ca), DIA(comm, cb)
+            u, uv = da.union_checked(db, seed=7)
+            m, mv = da.merge_checked(db, seed=7)
+            return uv.accepted, mv.accepted, m.collect_local()
+
+        outs = ctx.run(run, per_rank_args=list(zip(ctx.split(a), ctx.split(b))))
+        assert all(o[0] and o[1] for o in outs)
+        merged = np.concatenate([o[2] for o in outs])
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_zip_checked(self, p):
+        a = uniform_integers(900, seed=8)
+        b = uniform_integers(900, seed=9)
+        ctx = Context(p)
+
+        def run(comm, ca, cb):
+            zipped, verdict = DIA(comm, ca).zip_checked(DIA(comm, cb), seed=10)
+            return verdict.accepted, zipped.collect_local()
+
+        outs = ctx.run(run, per_rank_args=list(zip(ctx.split(a), ctx.split(b))))
+        assert all(o[0] for o in outs)
+        firsts = np.concatenate([o[1][0] for o in outs])
+        seconds = np.concatenate([o[1][1] for o in outs])
+        assert np.array_equal(firsts, a) and np.array_equal(seconds, b)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_group_by_key_checked(self, p):
+        keys, values = sum_workload(1_500, num_keys=80, seed=11)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            (uk, groups), verdict = (
+                DIA(comm, k).with_values(v).group_by_key_checked(seed=12)
+            )
+            return verdict.accepted, sum(g.size for g in groups)
+
+        outs = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert all(o[0] for o in outs)
+        assert sum(o[1] for o in outs) == keys.size
+
+
+class TestCheckedJoin:
+    def _relations(self):
+        rk = np.array([1, 2, 3, 4, 5] * 20, dtype=np.uint64)
+        rv = np.arange(100, dtype=np.int64)
+        sk = np.array([2, 3, 4] * 15, dtype=np.uint64)
+        sv = np.arange(45, dtype=np.int64)
+        return rk, rv, sk, sv
+
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_clean_join_accepts(self, mode, p):
+        rk, rv, sk, sv = self._relations()
+        ctx = Context(p)
+
+        def run(comm, a, b, c, d):
+            jx, verdict, stats = checked_join(
+                comm, (a, b), (c, d), mode=mode, seed=13
+            )
+            return jx.keys.size, verdict.accepted
+
+        outs = ctx.run(
+            run,
+            per_rank_args=list(
+                zip(ctx.split(rk), ctx.split(rv), ctx.split(sk), ctx.split(sv))
+            ),
+        )
+        assert all(o[1] for o in outs)
+        expected = sum(
+            int((rk == k).sum()) * int((sk == k).sum()) for k in (1, 2, 3, 4, 5)
+        )
+        assert sum(o[0] for o in outs) == expected
+
+    def test_invalid_mode(self):
+        empty = (np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            checked_join(None, empty, empty, mode="quantum")
+
+
+class TestSortMergeJoin:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_hash_join_rows(self, p):
+        from repro.dataflow.ops.join import hash_join
+        from repro.dataflow.ops.sort_merge_join import sort_merge_join
+
+        rng = np.random.default_rng(14)
+        rk = rng.integers(0, 50, 300).astype(np.uint64)
+        rv = np.arange(300, dtype=np.int64)
+        sk = rng.integers(0, 50, 200).astype(np.uint64)
+        sv = np.arange(200, dtype=np.int64)
+        ctx = Context(p)
+
+        def run(comm, a, b, c, d):
+            smj = sort_merge_join(comm, (a, b), (c, d))
+            hj = hash_join(comm, (a, b), (c, d))
+            return smj.keys.size, hj.keys.size, smj
+
+        outs = ctx.run(
+            run,
+            per_rank_args=list(
+                zip(ctx.split(rk), ctx.split(rv), ctx.split(sk), ctx.split(sv))
+            ),
+        )
+        assert sum(o[0] for o in outs) == sum(o[1] for o in outs)
+
+    def test_range_partition_property(self):
+        """After the exchange, PE i's keys all precede PE i+1's keys."""
+        from repro.dataflow.ops.sort_merge_join import sort_merge_join
+
+        rng = np.random.default_rng(15)
+        rk = rng.integers(0, 1000, 400).astype(np.uint64)
+        rv = np.arange(400, dtype=np.int64)
+        sk = rng.integers(0, 1000, 300).astype(np.uint64)
+        sv = np.arange(300, dtype=np.int64)
+        ctx = Context(4)
+
+        def run(comm, a, b, c, d):
+            jx = sort_merge_join(comm, (a, b), (c, d))
+            combined = np.concatenate([jx.r_post[0], jx.s_post[0]])
+            lo = int(combined.min()) if combined.size else None
+            hi = int(combined.max()) if combined.size else None
+            return lo, hi
+
+        bounds = ctx.run(
+            run,
+            per_rank_args=list(
+                zip(ctx.split(rk), ctx.split(rv), ctx.split(sk), ctx.split(sv))
+            ),
+        )
+        prev_hi = None
+        for lo, hi in bounds:
+            if lo is None:
+                continue
+            if prev_hi is not None:
+                assert lo >= prev_hi
+            prev_hi = hi
+
+
+class TestMinBitvectorChecker:
+    def test_accepts_correct(self):
+        from repro.core.minmax_checker import check_min_aggregation_bitvector
+
+        keys = np.array([1, 1, 2, 3], dtype=np.uint64)
+        values = np.array([5, 3, 8, 7], dtype=np.int64)
+        assert check_min_aggregation_bitvector(
+            (keys, values),
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([3, 8, 7], dtype=np.int64),
+        ).accepted
+
+    def test_rejects_wrong_extremes(self):
+        from repro.core.minmax_checker import check_min_aggregation_bitvector
+
+        keys = np.array([1, 1], dtype=np.uint64)
+        values = np.array([5, 3], dtype=np.int64)
+        for wrong in (2, 4, 5):  # too small / between / too large
+            assert not check_min_aggregation_bitvector(
+                (keys, values),
+                np.array([1], dtype=np.uint64),
+                np.array([wrong], dtype=np.int64),
+            ).accepted
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_no_certificate_needed(self, p):
+        from repro.core.minmax_checker import check_min_aggregation_bitvector
+        from repro.dataflow.ops.aggregates import min_by_key
+
+        keys, values = sum_workload(800, num_keys=50, seed=16)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            res = min_by_key(comm, k, v)
+            return check_min_aggregation_bitvector(
+                (k, v), res.keys, res.values, comm=comm, seed=17
+            ).accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert verdicts == [True] * p
+
+    def test_distributed_detects_min_nowhere_present(self):
+        from repro.core.minmax_checker import check_min_aggregation_bitvector
+
+        ctx = Context(2)
+        chunks = [
+            (np.array([1], dtype=np.uint64), np.array([5], dtype=np.int64)),
+            (np.array([1], dtype=np.uint64), np.array([7], dtype=np.int64)),
+        ]
+
+        def run(comm, k, v):
+            return check_min_aggregation_bitvector(
+                (k, v),
+                np.array([1], dtype=np.uint64),
+                np.array([4], dtype=np.int64),  # below both PEs' elements
+                comm=comm,
+            ).accepted
+
+        assert ctx.run(run, per_rank_args=chunks) == [False, False]

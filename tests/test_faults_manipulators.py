@@ -1,0 +1,176 @@
+"""Tests for the fault-injection manipulators (Tables 4 and 6).
+
+The central property: the sparse delta a manipulator reports must equal the
+actual difference between the aggregates of the manipulated and original
+data — this is what licenses the fast accuracy path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.manipulators import (
+    PERM_MANIPULATORS,
+    SUM_MANIPULATORS,
+    IncDec,
+    get_kv_manipulator,
+    get_seq_manipulator,
+)
+from repro.workloads.kv import aggregate_reference, sum_workload
+
+
+def _delta_from_aggregates(keys, values, new_keys, new_values):
+    """Reference: per-key aggregate difference via two exact aggregations."""
+    base_k, base_v = aggregate_reference(keys, values)
+    new_k, new_v = aggregate_reference(new_keys, new_values)
+    delta: dict[int, int] = {}
+    for k, v in zip(new_k.tolist(), new_v.tolist()):
+        delta[k] = delta.get(k, 0) + v
+    for k, v in zip(base_k.tolist(), base_v.tolist()):
+        delta[k] = delta.get(k, 0) - v
+    return {k: v for k, v in delta.items() if v != 0}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return sum_workload(400, num_keys=50, seed=13)
+
+
+class TestKVManipulators:
+    @pytest.mark.parametrize("name", sorted(SUM_MANIPULATORS))
+    @pytest.mark.parametrize("trial", range(5))
+    def test_delta_matches_actual_aggregate_difference(self, name, trial, workload):
+        keys, values = workload
+        man = get_kv_manipulator(name) if name != "RandKey" else get_kv_manipulator(
+            name, key_domain=50
+        )
+        rng = np.random.default_rng(trial * 101 + 7)
+        result = man.apply(rng, keys, values)
+        expected = _delta_from_aggregates(
+            keys, values, result.keys, result.values
+        )
+        got = dict(
+            zip(result.delta_keys.tolist(), result.delta_values.tolist())
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("name", sorted(SUM_MANIPULATORS))
+    def test_delta_is_never_empty(self, name, workload):
+        keys, values = workload
+        man = get_kv_manipulator(name)
+        for trial in range(20):
+            rng = np.random.default_rng(trial)
+            effect = man.sample_delta(rng, keys, values)
+            assert effect.delta_keys.size > 0
+            assert np.all(effect.delta_values != 0)
+
+    @pytest.mark.parametrize("name", sorted(SUM_MANIPULATORS))
+    def test_sample_delta_matches_apply_for_same_rng(self, name, workload):
+        keys, values = workload
+        man = get_kv_manipulator(name)
+        a = man.sample_delta(np.random.default_rng(5), keys, values)
+        b = man.apply(np.random.default_rng(5), keys, values)
+        assert np.array_equal(a.delta_keys, b.delta_keys)
+        assert np.array_equal(a.delta_values, b.delta_values)
+
+    def test_incdec_touches_distinct_keys(self, workload):
+        keys, values = workload
+        man = IncDec(2)
+        rng = np.random.default_rng(3)
+        result = man.apply(rng, keys, values)
+        # 2n=4 elements edited, all with different original keys.
+        assert result.keys is not None
+        changed = np.flatnonzero(
+            (result.keys != keys) | (result.values != values)
+        )
+        original = keys[changed]
+        assert len(set(original.tolist())) == changed.size
+
+    def test_incdec_validation(self):
+        with pytest.raises(ValueError):
+            IncDec(0)
+
+    def test_switch_values_preserves_total_sum(self, workload):
+        keys, values = workload
+        man = get_kv_manipulator("SwitchValues")
+        result = man.apply(np.random.default_rng(1), keys, values)
+        assert result.values.sum() == values.sum()
+        assert result.delta_values.sum() == 0
+
+    def test_inckey_moves_value_to_next_key(self, workload):
+        keys, values = workload
+        man = get_kv_manipulator("IncKey")
+        result = man.apply(np.random.default_rng(2), keys, values)
+        dk = result.delta_keys.tolist()
+        dv = dict(zip(dk, result.delta_values.tolist()))
+        # Two affected keys, k and k+1 (mod 2^64), opposite deltas.
+        assert len(dk) == 2
+        lo, hi = sorted(dk)
+        assert hi == lo + 1 or (lo == 0 and hi == 2**64 - 1)
+        assert sum(dv.values()) == 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_kv_manipulator("Gremlin")
+
+
+class TestSeqManipulators:
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        rng = np.random.default_rng(21)
+        return rng.integers(1, 10**8, 500).astype(np.uint64)
+
+    @pytest.mark.parametrize("name", sorted(PERM_MANIPULATORS))
+    def test_apply_changes_exactly_one_position(self, name, sequence):
+        man = get_seq_manipulator(name)
+        for trial in range(10):
+            result = man.apply(np.random.default_rng(trial), sequence)
+            diff = np.flatnonzero(result.sequence != sequence)
+            assert diff.size == 1
+            i = diff[0]
+            assert result.removed[0] == sequence[i]
+            assert result.added[0] == result.sequence[i]
+            assert result.removed[0] != result.added[0]
+
+    @pytest.mark.parametrize("name", sorted(PERM_MANIPULATORS))
+    def test_sample_change_matches_apply(self, name, sequence):
+        man = get_seq_manipulator(name)
+        a = man.sample_change(np.random.default_rng(9), sequence)
+        b = man.apply(np.random.default_rng(9), sequence)
+        assert a.removed[0] == b.removed[0]
+        assert a.added[0] == b.added[0]
+
+    def test_increment_adds_one(self, sequence):
+        man = get_seq_manipulator("Increment")
+        result = man.apply(np.random.default_rng(1), sequence)
+        assert int(result.added[0]) == int(result.removed[0]) + 1
+
+    def test_reset_resamples_zero_elements(self):
+        man = get_seq_manipulator("Reset")
+        seq = np.array([0, 0, 5, 0], dtype=np.uint64)
+        for trial in range(10):
+            result = man.apply(np.random.default_rng(trial), seq)
+            assert result.removed[0] == 5
+            assert result.added[0] == 0
+
+    def test_set_equal_duplicates_existing_value(self, sequence):
+        man = get_seq_manipulator("SetEqual")
+        result = man.apply(np.random.default_rng(4), sequence)
+        assert result.added[0] in sequence
+
+    def test_bitflip_width(self):
+        man = get_seq_manipulator("Bitflip", bit_width=4)
+        seq = np.array([0], dtype=np.uint64)
+        for trial in range(30):
+            result = man.apply(np.random.default_rng(trial), seq)
+            assert int(result.added[0]) < 16
+
+    def test_degenerate_input_raises(self):
+        man = get_seq_manipulator("SetEqual")
+        # All-equal sequence: SetEqual can never introduce a fault.
+        seq = np.full(4, 9, dtype=np.uint64)
+        with pytest.raises(RuntimeError):
+            man.apply(np.random.default_rng(0), seq)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_seq_manipulator("Gremlin")

@@ -1,0 +1,96 @@
+"""Tests for bit-parallel bucket assignment (§4 Optimizations)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.bitgroups import BucketAssigner, split_bit_groups
+from repro.hashing.families import get_family
+
+
+class TestSplitBitGroups:
+    def test_reconstruction(self):
+        h = np.array([0b110100101101], dtype=np.uint64)
+        groups = split_bit_groups(h, group_bits=3, num_groups=4, total_bits=12)
+        reassembled = sum(
+            int(g[0]) << (3 * i) for i, g in enumerate(groups)
+        )
+        assert reassembled == 0b110100101101
+
+    def test_group_bounds(self):
+        h = np.arange(100, dtype=np.uint64) * np.uint64(0x9E3779B9)
+        for g in split_bit_groups(h, 4, 8, 32):
+            assert int(g.max()) < 16
+
+    def test_too_many_groups_raises(self):
+        h = np.array([1], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            split_bit_groups(h, group_bits=8, num_groups=5, total_bits=32)
+
+    def test_zero_group_bits_raises(self):
+        with pytest.raises(ValueError):
+            split_bit_groups(np.array([1], dtype=np.uint64), 0, 1, 32)
+
+
+class TestBucketAssigner:
+    def test_shape_and_range(self):
+        ba = BucketAssigner(get_family("Mix"), d=16, iterations=6, seed=1)
+        keys = np.arange(500, dtype=np.uint64)
+        idx = ba.assign(keys)
+        assert idx.shape == (6, 500)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_bit_parallel_single_evaluation(self):
+        """One 64-bit hash yields 16 four-bit groups (the §7.1 trick)."""
+        ba = BucketAssigner(get_family("Tab64"), d=16, iterations=16, seed=1)
+        assert ba.bit_parallel
+        assert ba.num_hash_evaluations == 1
+
+    def test_bit_parallel_overflow_to_second_evaluation(self):
+        ba = BucketAssigner(get_family("Tab64"), d=16, iterations=17, seed=1)
+        assert ba.num_hash_evaluations == 2
+
+    def test_crc_32bit_budget(self):
+        # CRC provides 32 bits -> 8 groups of 4 bits per evaluation.
+        ba = BucketAssigner(get_family("CRC"), d=16, iterations=8, seed=1)
+        assert ba.num_hash_evaluations == 1
+        ba = BucketAssigner(get_family("CRC"), d=16, iterations=9, seed=1)
+        assert ba.num_hash_evaluations == 2
+
+    def test_general_d_one_evaluation_per_iteration(self):
+        ba = BucketAssigner(get_family("Mix"), d=37, iterations=3, seed=1)
+        assert not ba.bit_parallel
+        assert ba.num_hash_evaluations == 3
+        idx = ba.assign(np.arange(100, dtype=np.uint64))
+        assert idx.max() < 37
+
+    def test_iterations_are_distinct_functions(self):
+        ba = BucketAssigner(get_family("Mix"), d=64, iterations=4, seed=1)
+        idx = ba.assign(np.arange(200, dtype=np.uint64))
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(idx[i], idx[j])
+
+    def test_deterministic(self):
+        keys = np.arange(50, dtype=np.uint64)
+        a = BucketAssigner(get_family("Tab"), 8, 4, seed=9).assign(keys)
+        b = BucketAssigner(get_family("Tab"), 8, 4, seed=9).assign(keys)
+        assert np.array_equal(a, b)
+
+    def test_scalar_matches_vector(self):
+        ba = BucketAssigner(get_family("Mix"), d=8, iterations=5, seed=2)
+        keys = np.array([17, 99], dtype=np.uint64)
+        idx = ba.assign(keys)
+        assert ba.assign_one(17) == idx[:, 0].tolist()
+
+    def test_rejects_bad_parameters(self):
+        fam = get_family("Mix")
+        with pytest.raises(ValueError):
+            BucketAssigner(fam, d=1, iterations=1, seed=0)
+        with pytest.raises(ValueError):
+            BucketAssigner(fam, d=4, iterations=0, seed=0)
+
+    def test_bucket_distribution_roughly_uniform(self):
+        ba = BucketAssigner(get_family("Tab64"), d=8, iterations=1, seed=3)
+        idx = ba.assign(np.arange(80_000, dtype=np.uint64))
+        counts = np.bincount(idx[0], minlength=8)
+        assert counts.min() > 8_500 and counts.max() < 11_500

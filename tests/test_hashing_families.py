@@ -1,0 +1,48 @@
+"""Tests for the hash-family registry."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.families import get_family, list_families
+
+
+class TestRegistry:
+    def test_known_families(self):
+        names = list_families()
+        for expected in ("CRC", "CRC4", "Tab", "Tab64", "Mix", "MShift"):
+            assert expected in names
+
+    def test_case_insensitive(self):
+        assert get_family("crc").name == "CRC"
+        assert get_family("TAB64").name == "Tab64"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_family("nope")
+
+    @pytest.mark.parametrize("name", ["CRC", "CRC4", "Tab", "Tab64", "Mix", "MShift"])
+    def test_instances_work(self, name):
+        fam = get_family(name)
+        fn = fam.instance(seed=42)
+        keys = np.array([0, 1, 12345], dtype=np.uint64)
+        out = fn.hash_array(keys)
+        assert out.shape == keys.shape
+        # Output fits the family's declared bit width.
+        assert int(out.max()) < (1 << fam.bits)
+        # Scalar agrees with vector.
+        for k, v in zip(keys, out):
+            assert fn.hash_one(int(k)) == int(v)
+
+    @pytest.mark.parametrize("name", ["CRC", "CRC4", "Tab", "Tab64", "Mix"])
+    def test_seeding_gives_distinct_functions(self, name):
+        fam = get_family(name)
+        keys = np.arange(64, dtype=np.uint64)
+        a = fam.instance(1).hash_array(keys)
+        b = fam.instance(2).hash_array(keys)
+        assert not np.array_equal(a, b)
+
+    def test_crc4_differs_from_crc(self):
+        keys = np.array([123456], dtype=np.uint64)
+        a = get_family("CRC").instance(0).hash_array(keys)
+        b = get_family("CRC4").instance(0).hash_array(keys)
+        assert a[0] != b[0]

@@ -1,0 +1,130 @@
+"""Tests for carry-less multiplication and GF(2^64) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.gf2 import (
+    clmul,
+    gf64_mul,
+    gf64_mul_vec,
+    gf64_pow,
+    gf64_product,
+)
+
+
+def _clmul_reference(a: int, b: int) -> int:
+    out = 0
+    for i in range(64):
+        if (b >> i) & 1:
+            out ^= a << i
+    return out
+
+
+class TestClmul:
+    def test_against_reference(self, rng):
+        for _ in range(50):
+            a = int(rng.integers(0, 2**63)) * 2 + int(rng.integers(2))
+            b = int(rng.integers(0, 2**63)) * 2 + int(rng.integers(2))
+            assert clmul(a, b) == _clmul_reference(a, b)
+
+    def test_identity_and_zero(self):
+        assert clmul(0, 12345) == 0
+        assert clmul(1, 12345) == 12345
+        assert clmul(12345, 1) == 12345
+
+    def test_commutative(self):
+        assert clmul(0xABCDEF, 0x123456) == clmul(0x123456, 0xABCDEF)
+
+    def test_shift_is_multiply_by_power_of_two(self):
+        assert clmul(0xFF, 1 << 8) == 0xFF00
+
+
+class TestGF64FieldAxioms:
+    def test_identity(self, rng):
+        for _ in range(20):
+            a = int(rng.integers(0, 2**64, dtype=np.uint64))
+            assert gf64_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        assert gf64_mul(0xDEADBEEF, 0) == 0
+
+    def test_commutative(self, rng):
+        for _ in range(20):
+            a = int(rng.integers(0, 2**64, dtype=np.uint64))
+            b = int(rng.integers(0, 2**64, dtype=np.uint64))
+            assert gf64_mul(a, b) == gf64_mul(b, a)
+
+    def test_associative(self, rng):
+        for _ in range(20):
+            a, b, c = (int(rng.integers(0, 2**64, dtype=np.uint64)) for _ in range(3))
+            assert gf64_mul(gf64_mul(a, b), c) == gf64_mul(a, gf64_mul(b, c))
+
+    def test_distributive_over_xor(self, rng):
+        for _ in range(20):
+            a, b, c = (int(rng.integers(0, 2**64, dtype=np.uint64)) for _ in range(3))
+            assert gf64_mul(a, b ^ c) == gf64_mul(a, b) ^ gf64_mul(a, c)
+
+    def test_result_fits_64_bits(self, rng):
+        for _ in range(50):
+            a = int(rng.integers(0, 2**64, dtype=np.uint64))
+            b = int(rng.integers(0, 2**64, dtype=np.uint64))
+            assert 0 <= gf64_mul(a, b) < 2**64
+
+    def test_no_zero_divisors(self, rng):
+        """A field: nonzero · nonzero != 0."""
+        for _ in range(50):
+            a = int(rng.integers(1, 2**64, dtype=np.uint64))
+            b = int(rng.integers(1, 2**64, dtype=np.uint64))
+            assert gf64_mul(a, b) != 0
+
+    def test_fermat_little_theorem(self):
+        """a^(2^64 - 1) = 1 for a != 0 — exercises the full field order."""
+        for a in (2, 3, 0xDEADBEEF, 2**63 + 1):
+            assert gf64_pow(a, 2**64 - 1) == 1
+
+
+class TestGF64Vectorized:
+    def test_matches_scalar(self, rng):
+        a = rng.integers(0, 2**63, 200).astype(np.uint64) * 2 + rng.integers(
+            0, 2, 200
+        ).astype(np.uint64)
+        b = rng.integers(0, 2**63, 200).astype(np.uint64) * 2 + rng.integers(
+            0, 2, 200
+        ).astype(np.uint64)
+        vec = gf64_mul_vec(a, b)
+        for x, y, z in zip(a, b, vec):
+            assert gf64_mul(int(x), int(y)) == int(z)
+
+
+class TestGF64Product:
+    def test_empty_is_one(self):
+        assert gf64_product(np.array([], dtype=np.uint64)) == 1
+
+    def test_single(self):
+        assert gf64_product(np.array([42], dtype=np.uint64)) == 42
+
+    def test_matches_scalar_fold(self, rng):
+        vals = rng.integers(1, 2**64, 37, dtype=np.uint64)
+        expected = 1
+        for v in vals:
+            expected = gf64_mul(expected, int(v))
+        assert gf64_product(vals) == expected
+
+    def test_order_invariant(self, rng):
+        vals = rng.integers(1, 2**64, 64, dtype=np.uint64)
+        shuffled = vals.copy()
+        rng.shuffle(shuffled)
+        assert gf64_product(vals) == gf64_product(shuffled)
+
+
+class TestGF64Pow:
+    def test_small_powers(self):
+        a = 0x123456789
+        assert gf64_pow(a, 0) == 1
+        assert gf64_pow(a, 1) == a
+        assert gf64_pow(a, 2) == gf64_mul(a, a)
+        assert gf64_pow(a, 3) == gf64_mul(a, gf64_mul(a, a))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gf64_pow(2, -1)

@@ -1,0 +1,59 @@
+"""Tests for SplitMix and multiply-shift hash functions."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.mixers import MultiplyShiftHash, SplitMixHash
+
+
+class TestSplitMixHash:
+    def test_scalar_matches_vector(self):
+        h = SplitMixHash(99, out_bits=64)
+        keys = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        vec = h.hash_array(keys)
+        for k, v in zip(keys, vec):
+            assert h.hash_one(int(k)) == int(v)
+
+    def test_truncation(self):
+        h = SplitMixHash(3, out_bits=8)
+        keys = np.arange(5000, dtype=np.uint64)
+        assert int(h.hash_array(keys).max()) < 256
+
+    def test_seed_sensitivity(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(
+            SplitMixHash(1).hash_array(keys), SplitMixHash(2).hash_array(keys)
+        )
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            SplitMixHash(1, out_bits=0)
+        with pytest.raises(ValueError):
+            SplitMixHash(1, out_bits=65)
+
+    def test_collision_free_on_small_domain(self):
+        h = SplitMixHash(5, out_bits=64)
+        outs = h.hash_array(np.arange(10_000, dtype=np.uint64))
+        assert len(np.unique(outs)) == 10_000  # permutation of 64-bit space
+
+
+class TestMultiplyShiftHash:
+    def test_scalar_matches_vector(self):
+        h = MultiplyShiftHash(17, out_bits=16)
+        keys = np.array([0, 1, 999, 2**50], dtype=np.uint64)
+        vec = h.hash_array(keys)
+        for k, v in zip(keys, vec):
+            assert h.hash_one(int(k)) == int(v)
+
+    def test_output_range(self):
+        h = MultiplyShiftHash(7, out_bits=10)
+        keys = np.arange(10_000, dtype=np.uint64)
+        assert int(h.hash_array(keys).max()) < 1024
+
+    def test_multiplier_is_odd(self):
+        for seed in range(20):
+            assert MultiplyShiftHash(seed).multiplier % 2 == 1
+
+    def test_zero_maps_to_zero(self):
+        # Structural weakness of multiply-shift (why it is ablation-only).
+        assert MultiplyShiftHash(3).hash_one(0) == 0

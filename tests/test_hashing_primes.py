@@ -1,0 +1,88 @@
+"""Tests for primality testing and prime search (Lemma 5 substrate)."""
+
+import pytest
+
+from repro.hashing.primes import (
+    bertrand_prime,
+    is_prime,
+    next_prime,
+    random_prime_in_range,
+)
+
+_SMALL_PRIMES = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+}
+
+
+class TestIsPrime:
+    def test_small_numbers(self):
+        for n in range(100):
+            assert is_prime(n) == (n in _SMALL_PRIMES)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool weak tests.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_prime(n)
+
+    def test_large_known_primes(self):
+        assert is_prime(2**31 - 1)  # Mersenne
+        assert is_prime(2**61 - 1)  # Mersenne
+        assert is_prime((1 << 32) + 15)
+
+    def test_large_known_composites(self):
+        assert not is_prime(2**32 - 1)  # 3 · 5 · 17 · 257 · 65537
+        assert not is_prime((2**31 - 1) * (2**31 - 1))
+
+    def test_negative_and_edge(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+
+class TestNextPrime:
+    def test_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(90) == 97
+
+    def test_result_is_prime_and_minimal(self):
+        for n in (10**6, 10**9, 2**32):
+            p = next_prime(n)
+            assert is_prime(p) and p >= n
+            assert not any(is_prime(q) for q in range(n, p))
+
+
+class TestBertrandPrime:
+    @pytest.mark.parametrize("w", [2, 3, 8, 16, 31, 32, 61, 64])
+    def test_in_interval(self, w):
+        p = bertrand_prime(w)
+        assert (1 << (w - 1)) <= p <= (1 << w)
+        assert is_prime(p)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            bertrand_prime(1)
+
+
+class TestRandomPrimeInRange:
+    def test_in_range_and_prime(self):
+        for seed in range(10):
+            p = random_prime_in_range(10**6, 2 * 10**6, seed)
+            assert 10**6 <= p <= 2 * 10**6
+            assert is_prime(p)
+
+    def test_seed_variation(self):
+        primes = {random_prime_in_range(10**9, 2 * 10**9, s) for s in range(8)}
+        assert len(primes) > 1
+
+    def test_tight_range(self):
+        assert random_prime_in_range(97, 97, 0) == 97
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            random_prime_in_range(90, 96, 0)  # no prime in [90, 96]
+        with pytest.raises(ValueError):
+            random_prime_in_range(10, 5, 0)

@@ -1,0 +1,146 @@
+"""End-to-end integration: checked operations under fault injection.
+
+The contract of the whole system: running a checked operation on correct
+hardware accepts; planting any Table 4 / Table 6 manipulator inside the
+black box gets detected (with the strong default configuration, a miss is a
+< 1e-9 event — treated as impossible here).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.core.params import SumCheckConfig
+from repro.dataflow.pipeline import checked_reduce_by_key, checked_sort
+from repro.faults.manipulators import (
+    PERM_MANIPULATORS,
+    SUM_MANIPULATORS,
+    get_kv_manipulator,
+    get_seq_manipulator,
+)
+from repro.workloads.kv import aggregate_reference, sum_workload
+from repro.workloads.uniform import uniform_integers
+
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+class TestCheckedReduce:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_clean_run_accepts_and_is_correct(self, p):
+        keys, values = sum_workload(4_000, num_keys=300, seed=1)
+        ref_k, ref_v = aggregate_reference(keys, values)
+        ctx = Context(p)
+
+        def run(comm, k, v):
+            ok, ov, result, stats = checked_reduce_by_key(
+                comm, k, v, STRONG, seed=2
+            )
+            assert stats.total_seconds > 0
+            return ok, ov, result.accepted
+
+        outs = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert all(o[2] for o in outs)
+        got_k = np.concatenate([o[0] for o in outs])
+        got_v = np.concatenate([o[1] for o in outs])
+        order = np.argsort(got_k)
+        assert np.array_equal(got_k[order], ref_k)
+        assert np.array_equal(got_v[order], ref_v)
+
+    @pytest.mark.parametrize("manipulator", sorted(SUM_MANIPULATORS))
+    def test_detects_every_table4_manipulator(self, manipulator):
+        keys, values = sum_workload(4_000, num_keys=300, seed=3)
+        ctx = Context(4)
+        man = (
+            get_kv_manipulator(manipulator, key_domain=300)
+            if manipulator == "RandKey"
+            else get_kv_manipulator(manipulator)
+        )
+
+        def run(comm, k, v):
+            injected = man if comm.rank == 0 else None
+            _, _, result, _ = checked_reduce_by_key(
+                comm, k, v, STRONG, seed=4,
+                manipulator=injected,
+                manipulator_rng=np.random.default_rng(77),
+            )
+            return result.accepted
+
+        verdicts = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert verdicts == [False] * 4, f"{manipulator} evaded the checker"
+
+    def test_sequential_mode(self):
+        keys, values = sum_workload(1_000, num_keys=50, seed=5)
+        ok, ov, result, stats = checked_reduce_by_key(
+            None, keys, values, STRONG, seed=6
+        )
+        ref_k, ref_v = aggregate_reference(keys, values)
+        assert result.accepted
+        assert np.array_equal(ok, ref_k) and np.array_equal(ov, ref_v)
+
+
+class TestCheckedSort:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_clean_run(self, p):
+        data = uniform_integers(4_000, seed=7)
+        ctx = Context(p)
+
+        def run(comm, chunk):
+            out, result, _ = checked_sort(comm, chunk, seed=8)
+            return out, result.accepted
+
+        outs = ctx.run(run, per_rank_args=ctx.split(data))
+        assert all(o[1] for o in outs)
+        assert np.array_equal(
+            np.concatenate([o[0] for o in outs]), np.sort(data)
+        )
+
+    @pytest.mark.parametrize("manipulator", sorted(PERM_MANIPULATORS))
+    def test_detects_every_table6_manipulator(self, manipulator):
+        data = uniform_integers(4_000, seed=9)
+        ctx = Context(4)
+        man = get_seq_manipulator(manipulator)
+
+        def run(comm, chunk):
+            injected = man if comm.rank == 0 else None
+            _, result, _ = checked_sort(
+                comm, chunk, iterations=2, log_h=64, seed=10,
+                manipulator=injected,
+                manipulator_rng=np.random.default_rng(33),
+            )
+            return result.accepted
+
+        verdicts = ctx.run(run, per_rank_args=ctx.split(data))
+        assert verdicts == [False] * 4, f"{manipulator} evaded the checker"
+
+
+class TestWordcount:
+    """The motivating workload: counting Zipf words with a checked reduce."""
+
+    def test_checked_wordcount_round_trip(self):
+        from collections import Counter
+
+        from repro.workloads.wordcount import synthetic_corpus, word_to_key
+
+        corpus = synthetic_corpus(5_000, vocabulary=400, seed=11)
+        truth = Counter(corpus)
+        keys = np.array([word_to_key(w) for w in corpus], dtype=np.uint64)
+        ones = np.ones(keys.size, dtype=np.int64)
+        ctx = Context(4)
+
+        def run(comm, k, v):
+            ok, ov, result, _ = checked_reduce_by_key(comm, k, v, STRONG, seed=12)
+            return ok, ov, result.accepted
+
+        outs = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(ones)))
+        )
+        assert all(o[2] for o in outs)
+        counted = {}
+        for ok, ov, _ in outs:
+            counted.update(zip(ok.tolist(), ov.tolist()))
+        expected = {word_to_key(w): c for w, c in truth.items()}
+        assert counted == expected

@@ -1,0 +1,158 @@
+"""Tests for result integrity (§2), the streaming checker and the CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.comm.context import Context
+from repro.core.integrity import check_replicated, replicated_digest
+from repro.core.params import SumCheckConfig
+from repro.core.sum_checker import SumAggregationChecker, SumCheckerStream
+from repro.workloads.kv import aggregate_reference, sum_workload
+
+STRONG = SumCheckConfig.parse("8x16 m15")
+
+
+class TestReplicatedDigest:
+    def test_deterministic(self):
+        a = np.arange(10)
+        assert replicated_digest(1, a) == replicated_digest(1, a)
+
+    def test_seed_sensitivity(self):
+        a = np.arange(10)
+        assert replicated_digest(1, a) != replicated_digest(2, a)
+
+    def test_content_sensitivity(self):
+        assert replicated_digest(1, np.arange(10)) != replicated_digest(
+            1, np.arange(10) + 1
+        )
+
+    def test_dtype_sensitivity(self):
+        """Same bytes, different dtype, must differ (shape/dtype are data)."""
+        a = np.array([1], dtype=np.int64)
+        b = a.view(np.uint64)
+        assert replicated_digest(1, a) != replicated_digest(1, b)
+
+    def test_multiple_arrays_order_sensitive(self):
+        a, b = np.arange(3), np.arange(3, 6)
+        assert replicated_digest(1, a, b) != replicated_digest(1, b, a)
+
+
+class TestCheckReplicated:
+    def test_sequential_trivially_true(self):
+        assert check_replicated(None, np.arange(5)).accepted
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_identical_replicas_accepted(self, p):
+        ctx = Context(p)
+        verdicts = ctx.run(
+            lambda comm: check_replicated(comm, np.arange(100), seed=3).accepted
+        )
+        assert verdicts == [True] * p
+
+    def test_divergent_replica_rejected_everywhere(self):
+        ctx = Context(4)
+
+        def run(comm):
+            data = np.arange(100)
+            if comm.rank == 2:
+                data = data.copy()
+                data[50] ^= 1  # one bit flipped on one PE
+            return check_replicated(comm, data, seed=3).accepted
+
+        assert ctx.run(run) == [False] * 4
+
+
+class TestSumCheckerStream:
+    def test_chunked_equals_oneshot(self, kv_small):
+        keys, values = kv_small
+        out_k, out_v = aggregate_reference(keys, values)
+        checker = SumAggregationChecker(STRONG, seed=4)
+        stream = SumCheckerStream(checker)
+        # Feed in interleaved, uneven chunks.
+        for start in range(0, keys.size, 700):
+            stream.feed_input(keys[start : start + 700], values[start : start + 700])
+        for start in range(0, out_k.size, 113):
+            stream.feed_output(out_k[start : start + 113], out_v[start : start + 113])
+        assert stream.settle().accepted
+
+    def test_detects_fault_in_stream(self, kv_small):
+        keys, values = kv_small
+        out_k, out_v = aggregate_reference(keys, values)
+        bad_v = out_v.copy()
+        bad_v[3] += 1
+        stream = SumCheckerStream(SumAggregationChecker(STRONG, seed=4))
+        stream.feed_input(keys, values)
+        stream.feed_output(out_k, bad_v)
+        assert not stream.settle().accepted
+
+    def test_feed_after_settle_rejected(self, kv_small):
+        keys, values = kv_small
+        stream = SumCheckerStream(SumAggregationChecker(STRONG, seed=4))
+        stream.settle()
+        with pytest.raises(RuntimeError):
+            stream.feed_input(keys, values)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_distributed_settle(self, p):
+        keys, values = sum_workload(2_000, num_keys=100, seed=5)
+        out_k, out_v = aggregate_reference(keys, values)
+        ctx = Context(p)
+
+        def run(comm, k, v, ok, ov):
+            stream = SumCheckerStream(SumAggregationChecker(STRONG, seed=6))
+            stream.feed_input(k, v)
+            stream.feed_output(ok, ov)
+            return stream.settle(comm).accepted
+
+        verdicts = ctx.run(
+            run,
+            per_rank_args=list(
+                zip(
+                    ctx.split(keys),
+                    ctx.split(values),
+                    ctx.split(out_k),
+                    ctx.split(out_v),
+                )
+            ),
+        )
+        assert verdicts == [True] * p
+
+
+class TestRunnerCLI:
+    def test_report_sections(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "--trials",
+                "20",
+                "--elements",
+                "5000",
+                "--sections",
+                "table2",
+                "table3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "Table 2" in text and "Table 3" in text
+        assert "1e-04" in text or "1e-4" in text
+
+    def test_report_to_stdout(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--sections", "table2", "--out", "-"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig_sections_small(self, tmp_path):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "r.md"
+        code = main(
+            ["--trials", "10", "--sections", "fig4", "--out", str(out)]
+        )
+        assert code == 0
+        assert "Fig 4" in out.read_text()

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) on the dataflow layer.
+
+The dataflow operations are the trusted oracle the checkers are tested
+against, so they deserve their own adversarial inputs: arbitrary values,
+arbitrary (unbalanced, empty-slice) distributions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.context import Context
+from repro.dataflow.ops.reduce_by_key import local_aggregate, reduce_by_key
+from repro.dataflow.ops.sort import sample_sort
+from repro.dataflow.ops.zip_op import zip_arrays
+from repro.workloads.kv import aggregate_reference
+
+_small_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=-1000, max_value=1000),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+_values = st.lists(
+    st.integers(min_value=0, max_value=2**32), min_size=0, max_size=60
+)
+
+# A distribution of n items over 3 PEs: two cut points.
+_cuts = st.tuples(
+    st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1)
+)
+
+
+def _split3(arr: np.ndarray, cuts) -> list[np.ndarray]:
+    a, b = sorted(int(round(c * arr.size)) for c in cuts)
+    return [arr[:a], arr[a:b], arr[b:]]
+
+
+class TestLocalAggregateProperties:
+    @given(pairs=_small_pairs)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_dict_semantics(self, pairs):
+        ref: dict[int, int] = {}
+        for k, v in pairs:
+            ref[k] = ref.get(k, 0) + v
+        keys = np.array([k for k, _ in pairs], dtype=np.uint64)
+        values = np.array([v for _, v in pairs], dtype=np.int64)
+        out_k, out_v = local_aggregate(keys, values)
+        assert dict(zip(out_k.tolist(), out_v.tolist())) == ref
+
+    @given(pairs=_small_pairs, cuts=_cuts)
+    @settings(max_examples=60, deadline=None)
+    def test_distributed_reduce_invariant_to_distribution(self, pairs, cuts):
+        keys = np.array([k for k, _ in pairs], dtype=np.uint64)
+        values = np.array([v for _, v in pairs], dtype=np.int64)
+        ref_k, ref_v = aggregate_reference(keys, values)
+        ctx = Context(3)
+        outs = ctx.run(
+            lambda comm, k, v: reduce_by_key(comm, k, v),
+            per_rank_args=list(zip(_split3(keys, cuts), _split3(values, cuts))),
+        )
+        got_k = np.concatenate([o[0] for o in outs])
+        got_v = np.concatenate([o[1] for o in outs])
+        order = np.argsort(got_k)
+        assert np.array_equal(got_k[order], ref_k)
+        assert np.array_equal(got_v[order], ref_v)
+
+
+class TestSampleSortProperties:
+    @given(xs=_values, cuts=_cuts)
+    @settings(max_examples=60, deadline=None)
+    def test_equals_numpy_sort_for_any_distribution(self, xs, cuts):
+        data = np.array(xs, dtype=np.uint64)
+        ctx = Context(3)
+        outs = ctx.run(
+            lambda comm, c: sample_sort(comm, c),
+            per_rank_args=_split3(data, cuts),
+        )
+        assert np.array_equal(np.concatenate(outs), np.sort(data))
+
+
+class TestZipProperties:
+    @given(xs=_values, cuts_a=_cuts, cuts_b=_cuts)
+    @settings(max_examples=60, deadline=None)
+    def test_realignment_for_any_pair_of_distributions(self, xs, cuts_a, cuts_b):
+        a = np.array(xs, dtype=np.uint64)
+        b = (a * np.uint64(7)) ^ np.uint64(0x1234)
+        ctx = Context(3)
+        outs = ctx.run(
+            lambda comm, ca, cb: zip_arrays(comm, ca, cb),
+            per_rank_args=list(zip(_split3(a, cuts_a), _split3(b, cuts_b))),
+        )
+        firsts = np.concatenate([o[0] for o in outs])
+        seconds = np.concatenate([o[1] for o in outs])
+        assert np.array_equal(firsts, a)
+        assert np.array_equal(seconds, b)

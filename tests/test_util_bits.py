@@ -1,0 +1,64 @@
+"""Tests for bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.bits import ceil_log2, is_power_of_two, mask, popcount64
+
+
+class TestCeilLog2:
+    def test_powers_of_two(self):
+        for k in range(20):
+            assert ceil_log2(1 << k) == k
+
+    def test_between_powers(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(9) == 4
+        assert ceil_log2(1025) == 11
+
+    def test_one(self):
+        assert ceil_log2(1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+        with pytest.raises(ValueError):
+            ceil_log2(-4)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(30))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(x) for x in (0, 3, 5, 6, 7, 9, 100, -2))
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+        assert mask(64) == 2**64 - 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPopcount:
+    def test_matches_python(self):
+        xs = np.array(
+            [0, 1, 0xFF, 0xFFFFFFFFFFFFFFFF, 0x5555555555555555, 12345678901234],
+            dtype=np.uint64,
+        )
+        got = popcount64(xs)
+        for x, g in zip(xs, got):
+            assert int(g) == bin(int(x)).count("1")
+
+    def test_random(self, rng):
+        xs = rng.integers(0, 2**63, 200).astype(np.uint64)
+        got = popcount64(xs)
+        for x, g in zip(xs, got):
+            assert int(g) == bin(int(x)).count("1")

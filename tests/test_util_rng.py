@@ -1,0 +1,88 @@
+"""Tests for the SplitMix64 seeding substrate."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    derive_seed,
+    splitmix64,
+    splitmix64_array,
+    uniform_below,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outs = {splitmix64(i) for i in range(1000)}
+        assert len(outs) == 1000
+
+    def test_range(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+    def test_vector_matches_scalar(self):
+        xs = np.array([0, 1, 12345, 2**63, 2**64 - 1], dtype=np.uint64)
+        vec = splitmix64_array(xs)
+        for x, v in zip(xs, vec):
+            assert splitmix64(int(x)) == int(v)
+
+    def test_vector_does_not_mutate_input(self):
+        xs = np.array([1, 2, 3], dtype=np.uint64)
+        copy = xs.copy()
+        splitmix64_array(xs)
+        assert np.array_equal(xs, copy)
+
+    def test_avalanche(self):
+        """Flipping one input bit flips ~half the output bits on average."""
+        flips = []
+        for i in range(64):
+            a = splitmix64(0x123456789ABCDEF)
+            b = splitmix64(0x123456789ABCDEF ^ (1 << i))
+            flips.append(bin(a ^ b).count("1"))
+        mean = sum(flips) / len(flips)
+        assert 24 < mean < 40
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", 0) != derive_seed(1, "a", 1)
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_mixed_labels(self):
+        assert derive_seed(7, "x", 3, "y") != derive_seed(7, "x", 3, "z")
+
+    def test_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+class TestUniformBelow:
+    def test_bounds(self):
+        for bound in (1, 2, 3, 7, 100, 2**40):
+            for s in range(20):
+                assert 0 <= uniform_below(s, bound) < bound
+
+    def test_bound_one(self):
+        assert uniform_below(99, 1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_below(1, 0)
+        with pytest.raises(ValueError):
+            uniform_below(1, -5)
+
+    def test_roughly_uniform(self):
+        counts = [0] * 4
+        for s in range(4000):
+            counts[uniform_below(s, 4)] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+    def test_deterministic(self):
+        assert uniform_below(5, 1000) == uniform_below(5, 1000)

@@ -1,0 +1,97 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.kv import aggregate_reference, sum_workload
+from repro.workloads.uniform import uniform_integers
+from repro.workloads.wordcount import synthetic_corpus, word_to_key
+from repro.workloads.zipf import ZipfGenerator, zipf_keys
+
+
+class TestZipf:
+    def test_range(self):
+        gen = ZipfGenerator(1000, seed=1)
+        sample = gen.sample(10_000)
+        assert sample.min() >= 0 and sample.max() < 1000
+
+    def test_rank_frequency_law(self):
+        """Empirical frequencies follow f(k) = 1/(k·H_N): rank 0 about twice
+        rank 1, about three times rank 2."""
+        gen = ZipfGenerator(10_000, seed=2)
+        sample = gen.sample(200_000)
+        counts = np.bincount(sample.astype(np.intp), minlength=4)
+        assert counts[0] / counts[1] == pytest.approx(2.0, rel=0.15)
+        assert counts[0] / counts[2] == pytest.approx(3.0, rel=0.2)
+
+    def test_pmf_normalised_prefix(self):
+        gen = ZipfGenerator(100, seed=0)
+        total = sum(gen.pmf(r) for r in range(100))
+        assert total == pytest.approx(1.0)
+        assert gen.pmf(-1) == 0.0 and gen.pmf(100) == 0.0
+
+    def test_deterministic(self):
+        assert np.array_equal(zipf_keys(100, 50, seed=3), zipf_keys(100, 50, seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10).sample(-1)
+
+
+class TestUniform:
+    def test_range(self):
+        data = uniform_integers(10_000, universe=10**8, seed=1)
+        assert data.min() >= 0 and data.max() < 10**8
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            uniform_integers(100, seed=5), uniform_integers(100, seed=5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_integers(-1)
+        with pytest.raises(ValueError):
+            uniform_integers(1, universe=0)
+
+
+class TestSumWorkload:
+    def test_shapes_and_positivity(self):
+        keys, values = sum_workload(1_000, num_keys=100, seed=0)
+        assert keys.size == values.size == 1_000
+        assert keys.max() < 100
+        assert values.min() >= 1  # x ⊕ y != x requires nonzero values
+
+    def test_reference_aggregation_matches_dict(self):
+        keys, values = sum_workload(500, num_keys=30, seed=1)
+        ref: dict[int, int] = {}
+        for k, v in zip(keys.tolist(), values.tolist()):
+            ref[k] = ref.get(k, 0) + v
+        out_k, out_v = aggregate_reference(keys, values)
+        assert dict(zip(out_k.tolist(), out_v.tolist())) == ref
+        assert np.all(out_k[:-1] < out_k[1:])  # strictly ascending keys
+
+    def test_reference_empty(self):
+        k, v = aggregate_reference(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+        )
+        assert k.size == 0 and v.size == 0
+
+
+class TestWordcount:
+    def test_corpus_size_and_zipf_shape(self):
+        corpus = synthetic_corpus(20_000, vocabulary=500, seed=1)
+        assert len(corpus) == 20_000
+        from collections import Counter
+
+        counts = Counter(corpus)
+        most = counts.most_common(3)
+        assert most[0][1] > most[2][1]
+
+    def test_word_to_key_deterministic_and_distinct(self):
+        assert word_to_key("katale") == word_to_key("katale")
+        words = set(synthetic_corpus(1_000, vocabulary=200, seed=2))
+        keys = {word_to_key(w) for w in words}
+        assert len(keys) == len(words)
