@@ -42,20 +42,27 @@ def test_bitparallel_detection_unchanged(benchmark):
 
     Sanity-check the accuracy is not degraded: a single-key fault must be
     detected at a rate consistent with 1 − δ for both bucket schemes.
+    Runs through the batched verdict kernel (one call per scheme instead
+    of 300 checker constructions); ``sum_delta_verdicts`` is asserted
+    trial-identical to per-trial ``detects_delta`` by the engine tests.
     """
+    from repro.experiments.engine import sum_delta_verdicts
+    from repro.faults.manipulators import KVManipulationBatch
 
     def run():
-        misses = {"8x16 Tab64 m15": 0, "8x17 Tab64 m15": 0}
         trials = 300
-        for label in misses:
+        seeds = np.arange(trials, dtype=np.uint64) * np.uint64(7) + np.uint64(1)
+        delta = KVManipulationBatch(
+            owner=np.repeat(np.arange(trials, dtype=np.intp), 2),
+            delta_keys=np.tile(np.array([123, 124], dtype=np.uint64), trials),
+            delta_values=np.tile(np.array([5, -5], dtype=np.int64), trials),
+            trials=trials,
+        )
+        misses = {}
+        for label in ("8x16 Tab64 m15", "8x17 Tab64 m15"):
             cfg = SumCheckConfig.parse(label)
-            for t in range(trials):
-                checker = SumAggregationChecker(cfg, seed=t * 7 + 1)
-                if not checker.detects_delta(
-                    np.array([123, 124], dtype=np.uint64),
-                    np.array([5, -5], dtype=np.int64),
-                ):
-                    misses[label] += 1
+            detected = sum_delta_verdicts(cfg, seeds, delta)
+            misses[label] = int(trials - detected.sum())
         return misses, trials
 
     misses, trials = benchmark.pedantic(run, rounds=1, iterations=1)

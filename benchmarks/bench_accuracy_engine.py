@@ -1,0 +1,117 @@
+"""Batched accuracy engine vs the per-trial reference loop.
+
+Times one Fig 3 cell (``8x16 Tab m15`` × Bitflip) and one Fig 5 cell
+(``Tab4`` × Increment) on both execution paths, asserts the engine's
+verdict counts are identical to the reference loop's, and emits a
+``BENCH_accuracy_engine.json`` artifact at the repo root so future PRs can
+track the throughput trajectory.
+
+Scale knobs: ``REPRO_BENCH_TRIALS`` sets the *batched* trial count
+(floored at 10 000 here so the artifact always reflects a paper-relevant
+batch); the reference loop runs ``min(batched, 10 000)`` trials to keep
+the comparison honest but bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.core.params import PermCheckConfig, SumCheckConfig
+from repro.experiments.accuracy import perm_checker_accuracy, sum_checker_accuracy
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_accuracy_engine.json"
+_EQUIVALENCE_TRIALS = 1_000
+_MIN_SPEEDUP = 20.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_accuracy_engine_speedup(benchmark, accuracy_trials):
+    batched_trials = max(accuracy_trials, 10_000)
+    reference_trials = min(batched_trials, 10_000)
+    sum_cfg = SumCheckConfig.parse("8x16 m15").with_hash("Tab")
+    perm_cfg = PermCheckConfig(log_h=4, hash_family="Tab")
+
+    # Equivalence gate: identical failure counts on a 1000-trial cell.
+    for kind, fn in (
+        ("sum", lambda mode: sum_checker_accuracy(
+            sum_cfg, "Bitflip", _EQUIVALENCE_TRIALS, seed=0xF163, mode=mode
+        )),
+        ("perm", lambda mode: perm_checker_accuracy(
+            perm_cfg, "Increment", _EQUIVALENCE_TRIALS, seed=0xF165, mode=mode
+        )),
+    ):
+        assert fn("batched") == fn("reference"), f"{kind} paths diverged"
+
+    sum_ref, sum_ref_s = _timed(
+        lambda: sum_checker_accuracy(
+            sum_cfg, "Bitflip", reference_trials, seed=0xF163, mode="reference"
+        )
+    )
+    sum_bat, sum_bat_s = _timed(
+        lambda: run_once(
+            benchmark,
+            lambda: sum_checker_accuracy(
+                sum_cfg, "Bitflip", batched_trials, seed=0xF163, mode="batched"
+            ),
+        )
+    )
+    perm_ref, perm_ref_s = _timed(
+        lambda: perm_checker_accuracy(
+            perm_cfg, "Increment", reference_trials, seed=0xF165, mode="reference"
+        )
+    )
+    perm_bat, perm_bat_s = _timed(
+        lambda: perm_checker_accuracy(
+            perm_cfg, "Increment", batched_trials, seed=0xF165, mode="batched"
+        )
+    )
+    if batched_trials == reference_trials:
+        assert sum_bat.failures == sum_ref.failures
+        assert perm_bat.failures == perm_ref.failures
+
+    sum_speedup = (sum_ref_s / reference_trials) / (sum_bat_s / batched_trials)
+    perm_speedup = (perm_ref_s / reference_trials) / (perm_bat_s / batched_trials)
+    report = {
+        "sum_cell": {
+            "config": sum_cfg.label(),
+            "manipulator": "Bitflip",
+            "reference_trials": reference_trials,
+            "reference_seconds": sum_ref_s,
+            "reference_us_per_trial": sum_ref_s / reference_trials * 1e6,
+            "batched_trials": batched_trials,
+            "batched_seconds": sum_bat_s,
+            "batched_us_per_trial": sum_bat_s / batched_trials * 1e6,
+            "speedup": sum_speedup,
+            "failures": sum_bat.failures,
+        },
+        "perm_cell": {
+            "config": perm_cfg.label(),
+            "manipulator": "Increment",
+            "reference_trials": reference_trials,
+            "reference_seconds": perm_ref_s,
+            "reference_us_per_trial": perm_ref_s / reference_trials * 1e6,
+            "batched_trials": batched_trials,
+            "batched_seconds": perm_bat_s,
+            "batched_us_per_trial": perm_bat_s / batched_trials * 1e6,
+            "speedup": perm_speedup,
+            "failures": perm_bat.failures,
+        },
+        "equivalence_trials": _EQUIVALENCE_TRIALS,
+        "min_required_speedup": _MIN_SPEEDUP,
+    }
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    benchmark.extra_info.update(
+        sum_speedup=sum_speedup, perm_speedup=perm_speedup, artifact=str(_ARTIFACT)
+    )
+    print(f"\nsum {sum_speedup:.1f}x, perm {perm_speedup:.1f}x -> {_ARTIFACT.name}")
+    assert sum_speedup >= _MIN_SPEEDUP, f"sum engine only {sum_speedup:.1f}x"
+    assert perm_speedup >= _MIN_SPEEDUP, f"perm engine only {perm_speedup:.1f}x"

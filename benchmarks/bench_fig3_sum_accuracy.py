@@ -11,9 +11,10 @@ Expected shape (paper §7.1):
   IncDec1** (low-bit linearity);
 * tabulation is uniformly consistent with the ideal analysis.
 
-Trial counts scale via ``REPRO_BENCH_TRIALS`` (default 400 per cell keeps
-the whole figure under a minute; the exact fast path affords the paper's
-100 000 — see DESIGN.md §5.3).
+Trial counts scale via ``REPRO_BENCH_TRIALS`` (default 400 per cell; the
+batched engine makes the paper's 100 000 routine — set
+``REPRO_BENCH_ACCURACY_MODE=reference`` for the per-trial oracle loop,
+which produces identical verdicts).
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ from repro.faults.manipulators import SUM_MANIPULATORS
 _HASHES = ("CRC", "Tab")
 
 
-def test_fig3_sum_checker_accuracy(benchmark, accuracy_trials):
+def test_fig3_sum_checker_accuracy(benchmark, accuracy_trials, accuracy_mode):
     def experiment():
         rows = []
         for manipulator in SUM_MANIPULATORS:
@@ -40,11 +41,13 @@ def test_fig3_sum_checker_accuracy(benchmark, accuracy_trials):
                         manipulator,
                         trials=accuracy_trials,
                         seed=0xF163,
+                        mode=accuracy_mode,
                     )
                     rows.append(cell)
         return rows
 
     cells = run_once(benchmark, experiment)
+    benchmark.extra_info["accuracy_mode"] = accuracy_mode
     print()
     print(
         format_table(

@@ -21,7 +21,7 @@ from repro.faults.manipulators import PERM_MANIPULATORS
 _HASHES = ("CRC", "Tab")
 
 
-def test_fig5_permutation_checker_accuracy(benchmark, accuracy_trials):
+def test_fig5_permutation_checker_accuracy(benchmark, accuracy_trials, accuracy_mode):
     def experiment():
         rows = []
         for manipulator in PERM_MANIPULATORS:
@@ -33,11 +33,13 @@ def test_fig5_permutation_checker_accuracy(benchmark, accuracy_trials):
                         manipulator,
                         trials=accuracy_trials,
                         seed=0xF165,
+                        mode=accuracy_mode,
                     )
                     rows.append(cell)
         return rows
 
     cells = run_once(benchmark, experiment)
+    benchmark.extra_info["accuracy_mode"] = accuracy_mode
     print()
     print(
         format_table(

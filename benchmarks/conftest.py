@@ -3,10 +3,12 @@
 Trial counts scale with the environment:
 
 * ``REPRO_BENCH_TRIALS`` — accuracy trials per cell (default 400; the paper
-  uses 100 000 — set it that high for a paper-scale run, the fast path
-  affords it).
+  uses 100 000 — set it that high for a paper-scale run, the batched
+  engine affords it).
 * ``REPRO_BENCH_ELEMENTS`` — element count for overhead measurements
   (default 300 000; paper: 10^6).
+* ``REPRO_BENCH_ACCURACY_MODE`` — ``batched`` (default, vectorized engine)
+  or ``reference`` (per-trial oracle loop; identical verdicts).
 """
 
 from __future__ import annotations
@@ -31,6 +33,14 @@ def accuracy_trials() -> int:
 @pytest.fixture(scope="session")
 def overhead_elements() -> int:
     return _env_int("REPRO_BENCH_ELEMENTS", 300_000)
+
+
+@pytest.fixture(scope="session")
+def accuracy_mode() -> str:
+    mode = os.environ.get("REPRO_BENCH_ACCURACY_MODE", "batched")
+    if mode not in ("batched", "reference"):
+        raise ValueError(f"REPRO_BENCH_ACCURACY_MODE={mode!r}")
+    return mode
 
 
 def run_once(benchmark, fn):

@@ -34,9 +34,15 @@ from repro.core.base import CheckResult
 from repro.core.params import SumCheckConfig
 from repro.hashing.bitgroups import BucketAssigner
 from repro.hashing.families import get_family
-from repro.util.rng import derive_seed, uniform_below
+from repro.util.rng import (
+    derive_seed,
+    derive_seed_array,
+    splitmix64_array,
+    uniform_below_array,
+)
 
 _CHUNK_BITS = 52  # float64 mantissa headroom for the exact bincount path
+_PACK_CHUNK_RESIDUES = 1 << 15  # bounds pack/unpack scratch to ~1 MB
 
 
 def _coerce_keys(keys) -> np.ndarray:
@@ -90,6 +96,28 @@ class _Iteration:
     modulus: int
 
 
+def draw_moduli(config: SumCheckConfig, seeds) -> np.ndarray:
+    """Per-iteration moduli ``r ∈ r̂+1 .. 2r̂`` for one or many checker seeds.
+
+    A scalar ``seeds`` yields the ``(iterations,)`` int64 vector a
+    :class:`SumAggregationChecker` stores; a ``(T,)`` array yields the
+    ``(T, iterations)`` matrix of T independent checkers — row ``t`` equals
+    the scalar draw for ``seeds[t]``.  Seed derivation and rejection
+    sampling match the historical per-iteration scalar loop exactly.
+    """
+    counters = np.arange(config.iterations, dtype=np.uint64)
+    if np.ndim(seeds) == 0:
+        mod_seeds = derive_seed_array(
+            int(seeds), "sum-checker", "modulus", counters
+        )
+    else:
+        # Fold the string labels once per trial, then branch per iteration.
+        prefix = derive_seed_array(seeds, "sum-checker", "modulus")
+        mod_seeds = splitmix64_array(prefix[:, None] ^ counters[None, :])
+    draws = uniform_below_array(mod_seeds, config.rhat).astype(np.int64)
+    return draws + np.int64(config.rhat + 1)
+
+
 class SumAggregationChecker:
     """A seeded instance of the Algorithm 1 checker.
 
@@ -115,18 +143,10 @@ class SumAggregationChecker:
             config.iterations,
             derive_seed(seed, "sum-checker", "buckets"),
         )
-        # r drawn uniformly from r̂+1 .. 2r̂ per iteration (Algorithm 1).
-        self.moduli = np.array(
-            [
-                config.rhat
-                + 1
-                + uniform_below(
-                    derive_seed(seed, "sum-checker", "modulus", j), config.rhat
-                )
-                for j in range(config.iterations)
-            ],
-            dtype=np.int64,
-        )
+        # r drawn uniformly from r̂+1 .. 2r̂ per iteration (Algorithm 1),
+        # all iterations in one vectorized rejection-sampling pass (the
+        # values are identical to the former per-iteration scalar draws).
+        self.moduli = draw_moduli(config, seed)
 
     # -- local kernel (the n/p term of Theorem 1) ---------------------------
     def local_tables(self, keys, values) -> np.ndarray:
@@ -195,11 +215,20 @@ class SumAggregationChecker:
             return table.astype(np.int64).tobytes()
         bits = self.config.residue_bits
         flat = table.ravel().astype(np.uint64)
-        # Expand each residue into `bits` bits, LSB first, then pack.
-        expanded = (
-            (flat[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)
-        ).astype(np.uint8)
-        return np.packbits(expanded.ravel()).tobytes()
+        # Expand residues into bits (LSB first) a bounded chunk at a time:
+        # the scratch stays ~`_PACK_CHUNK_RESIDUES · bits` bytes instead of
+        # `residues · bits`.  Chunks hold a multiple of 8 residues, so each
+        # chunk's bitstream is byte-aligned and the concatenation is
+        # identical to packing the whole stream at once.
+        shifts = np.arange(bits, dtype=np.uint64)
+        parts = []
+        for start in range(0, flat.size, _PACK_CHUNK_RESIDUES):
+            chunk = flat[start : start + _PACK_CHUNK_RESIDUES]
+            expanded = ((chunk[:, None] >> shifts) & np.uint64(1)).astype(
+                np.uint8
+            )
+            parts.append(np.packbits(expanded.ravel()).tobytes())
+        return b"".join(parts)
 
     def unpack(self, payload: bytes) -> np.ndarray:
         """Inverse of :meth:`pack`."""
@@ -210,14 +239,21 @@ class SumAggregationChecker:
             ).copy()
         bits = cfg.residue_bits
         total = cfg.iterations * cfg.d
-        unpacked = np.unpackbits(
-            np.frombuffer(payload, dtype=np.uint8), count=total * bits
-        )
+        payload_bytes = np.frombuffer(payload, dtype=np.uint8)
         weights = (np.uint64(1) << np.arange(bits, dtype=np.uint64)).astype(
             np.int64
         )
-        residues = unpacked.reshape(total, bits).astype(np.int64) @ weights
-        return residues.reshape(cfg.iterations, cfg.d)
+        out = np.empty(total, dtype=np.int64)
+        for start in range(0, total, _PACK_CHUNK_RESIDUES):
+            count = min(_PACK_CHUNK_RESIDUES, total - start)
+            first_bit = start * bits  # byte-aligned: start is a multiple of 8
+            nbits = count * bits
+            chunk = payload_bytes[first_bit // 8 : (first_bit + nbits + 7) // 8]
+            unpacked = np.unpackbits(chunk, count=nbits)
+            out[start : start + count] = (
+                unpacked.reshape(count, bits).astype(np.int64) @ weights
+            )
+        return out.reshape(cfg.iterations, cfg.d)
 
     # -- verdicts ------------------------------------------------------------
     def check_local(self, input_kv, asserted_kv) -> CheckResult:

@@ -3,18 +3,22 @@
 The paper measures, per (checker configuration × manipulator) cell, the
 fraction of 100 000 trials in which the checker *fails to detect* an
 injected fault, and plots it relative to the configuration's failure bound
-δ.  Two execution paths per cell:
+δ.  Three execution paths per cell:
 
-* **fast** (default) — exact shortcut: the checker's verdict is a
-  deterministic function of the fault's sparse effect (per-key aggregate
-  deltas for the sum checker, removed/added elements for the permutation
-  checker) and of the drawn hash/modulus randomness.  Only the effect is
-  sampled and only the affected keys are hashed, so paper-scale trial
-  counts run in seconds.  Property tests (`tests/test_accuracy_paths.py`)
-  assert agreement with the full path on thousands of random cases.
+* **batched** (default) — the exact fast-path verdicts, evaluated many
+  trials per numpy kernel call by :mod:`repro.experiments.engine`.  This
+  is what makes `REPRO_BENCH_TRIALS=100000` routine (≥20× over the
+  per-trial loop).
+* **reference** — the per-trial loop over the same exact shortcut: the
+  checker's verdict is a deterministic function of the fault's sparse
+  effect (per-key aggregate deltas for the sum checker, removed/added
+  elements for the permutation checker) and of the drawn hash/modulus
+  randomness.  The batched engine reproduces this path trial for trial
+  (same `derive_seed` tree, same stream draws); it is kept as the oracle.
 * **full** — the genuine end-to-end run: manipulate the data, execute the
   black-box operation, run the complete checker.  Used for validation and
-  affordable at reduced trial counts.
+  affordable at reduced trial counts.  Shares the reference path's trial
+  seeds, so the two estimate identical failure counts.
 """
 
 from __future__ import annotations
@@ -28,9 +32,19 @@ from repro.core.permutation_checker import HashSumPermutationChecker
 from repro.core.sum_checker import SumAggregationChecker
 from repro.faults.manipulators import get_kv_manipulator, get_seq_manipulator
 from repro.util.bits import ceil_log2
-from repro.util.rng import derive_seed
+from repro.util.rng import SplitMixStream, derive_seed
 from repro.workloads.kv import aggregate_reference, sum_workload
 from repro.workloads.uniform import uniform_integers
+
+#: Execution paths accepted by the accuracy entry points.
+ACCURACY_MODES = ("batched", "reference")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in ACCURACY_MODES:
+        raise ValueError(
+            f"unknown accuracy mode {mode!r}; expected one of {ACCURACY_MODES}"
+        )
 
 
 @dataclass
@@ -91,13 +105,24 @@ def sum_checker_accuracy(
     n_elements: int = 50_000,
     num_keys: int = 10**6,
     seed: int = 0,
+    mode: str = "batched",
 ) -> AccuracyCell:
     """Fig 3 cell, fast path: exact verdicts from sparse fault deltas.
 
     Workload: ``n_elements`` power-law pairs over ``num_keys`` possible keys
     (paper: 50 000 elements, 10^6 values); a fresh fault and fresh checker
-    randomness per trial.
+    randomness per trial.  ``mode="batched"`` vectorizes the trials through
+    :mod:`repro.experiments.engine`; ``mode="reference"`` runs the
+    per-trial oracle loop — both produce identical verdicts per trial.
     """
+    _check_mode(mode)
+    if mode == "batched":
+        from repro.experiments.engine import BatchedSumAccuracy
+
+        return BatchedSumAccuracy(
+            config, manipulator, n_elements=n_elements, num_keys=num_keys,
+            seed=seed,
+        ).run(trials)
     keys, values = sum_workload(n_elements, num_keys, seed=derive_seed(seed, "wl"))
     man = _kv_manipulator(manipulator, num_keys)
     effective = config.with_hash(
@@ -105,7 +130,7 @@ def sum_checker_accuracy(
     )
     failures = 0
     for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, "trial", trial))
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
         effect = man.sample_delta(rng, keys, values)
         checker = SumAggregationChecker(
             effective, derive_seed(seed, "checker", trial)
@@ -138,7 +163,7 @@ def sum_checker_accuracy_full(
     )
     failures = 0
     for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, "trial", trial))
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
         manipulated = man.apply(rng, keys, values)
         out_k, out_v = aggregate_reference(manipulated.keys, manipulated.values)
         checker = SumAggregationChecker(
@@ -177,6 +202,7 @@ def perm_checker_accuracy(
     n_elements: int = 10**6,
     universe: int = 10**8,
     seed: int = 0,
+    mode: str = "batched",
 ) -> AccuracyCell:
     """Fig 5 cell, fast path.
 
@@ -184,8 +210,17 @@ def perm_checker_accuracy(
     fingerprints of input and output differ by ``h(new) − h(old)``, so the
     checker misses the fault iff the truncated hashes collide.  Only the
     (old, new) pair needs drawing and hashing per trial — the rest of the
-    sequence contributes identically to both sides.
+    sequence contributes identically to both sides.  ``mode`` selects the
+    vectorized engine or the per-trial reference loop (identical verdicts).
     """
+    _check_mode(mode)
+    if mode == "batched":
+        from repro.experiments.engine import BatchedPermAccuracy
+
+        return BatchedPermAccuracy(
+            config, manipulator, n_elements=n_elements, universe=universe,
+            seed=seed,
+        ).run(trials)
     sequence = uniform_integers(
         min(n_elements, 1 << 16), universe, seed=derive_seed(seed, "wl")
     )
@@ -193,7 +228,7 @@ def perm_checker_accuracy(
     family = _storage_aware_family(config.hash_family, universe)
     failures = 0
     for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, "trial", trial))
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
         change = man.sample_change(rng, sequence)
         # Same checker (same seed derivation) as the full path, applied to
         # the removed/added elements only: the common elements cancel in
@@ -236,7 +271,7 @@ def perm_checker_accuracy_full(
     family = _storage_aware_family(config.hash_family, universe)
     failures = 0
     for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, "trial", trial))
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
         manipulated = man.apply(rng, sequence)
         output = np.sort(manipulated.sequence)
         checker = HashSumPermutationChecker(

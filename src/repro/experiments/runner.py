@@ -62,13 +62,15 @@ def _section_table3() -> str:
     )
 
 
-def _section_fig3(trials: int) -> str:
+def _section_fig3(trials: int, mode: str = "batched") -> str:
     rows = []
     for manipulator in SUM_MANIPULATORS:
         for label in PAPER_TABLE3_ACCURACY:
             for fam in ("CRC", "Tab"):
                 cfg = SumCheckConfig.parse(label).with_hash(fam)
-                cell = sum_checker_accuracy(cfg, manipulator, trials, seed=0xF163)
+                cell = sum_checker_accuracy(
+                    cfg, manipulator, trials, seed=0xF163, mode=mode
+                )
                 rows.append(
                     (
                         manipulator,
@@ -83,13 +85,15 @@ def _section_fig3(trials: int) -> str:
     )
 
 
-def _section_fig5(trials: int) -> str:
+def _section_fig5(trials: int, mode: str = "batched") -> str:
     rows = []
     for manipulator in PERM_MANIPULATORS:
         for fam in ("CRC", "Tab"):
             for log_h in PAPER_FIG5_LOG_H:
                 cfg = PermCheckConfig(log_h=log_h, hash_family=fam)
-                cell = perm_checker_accuracy(cfg, manipulator, trials, seed=0xF165)
+                cell = perm_checker_accuracy(
+                    cfg, manipulator, trials, seed=0xF165, mode=mode
+                )
                 rows.append(
                     (
                         manipulator,
@@ -142,9 +146,9 @@ _SECTIONS = {
     "table2": lambda args: _section_table2(),
     "table3": lambda args: _section_table3(),
     "table5": lambda args: _section_table5(args.elements),
-    "fig3": lambda args: _section_fig3(args.trials),
+    "fig3": lambda args: _section_fig3(args.trials, args.accuracy_mode),
     "fig4": lambda args: _section_fig4(),
-    "fig5": lambda args: _section_fig5(args.trials),
+    "fig5": lambda args: _section_fig5(args.trials, args.accuracy_mode),
 }
 
 
@@ -170,6 +174,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--trials", type=int, default=400, help="accuracy trials per cell"
+    )
+    parser.add_argument(
+        "--accuracy-mode",
+        choices=("batched", "reference"),
+        default="batched",
+        help="accuracy execution path: vectorized engine (default) or the "
+        "per-trial oracle loop (identical verdicts, ~20-100x slower)",
     )
     parser.add_argument(
         "--elements",

@@ -16,6 +16,12 @@ Every ``apply`` returns both the manipulated data and the sparse effect;
 distribution) for the high-trial-count accuracy experiments.  Manipulators
 re-draw when a draw happens to be a no-op (e.g. RandKey drawing the same
 key): a manipulator's contract is that it *does* introduce a fault.
+
+``sample_delta_batch``/``sample_change_batch`` draw *many* trials' faults
+in a few numpy passes.  Each trial consumes its own
+:class:`repro.util.rng.SplitMixStream` draws in exactly the order the
+scalar methods would (redraws included), so the batched accuracy engine is
+trial-for-trial identical to the per-trial reference loop.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.util.rng import SplitMixStreamBatch
 
 _MAX_REDRAWS = 64
 
@@ -46,6 +54,29 @@ class SeqManipulation:
     added: np.ndarray  # multiset of elements added
 
 
+@dataclass
+class KVManipulationBatch:
+    """Sparse aggregate deltas of many independently drawn faults.
+
+    Flat arrays: entry ``i`` contributes ``delta_values[i]`` to key
+    ``delta_keys[i]`` of trial ``owner[i]``; entries are grouped by trial
+    and every trial has at least one (non-zero) entry.
+    """
+
+    owner: np.ndarray  # (entries,) trial index per delta entry
+    delta_keys: np.ndarray  # (entries,) uint64
+    delta_values: np.ndarray  # (entries,) int64
+    trials: int
+
+
+@dataclass
+class SeqManipulationBatch:
+    """(removed, added) element of many single-element sequence faults."""
+
+    removed: np.ndarray  # (trials,) uint64
+    added: np.ndarray  # (trials,) uint64
+
+
 _KEY_MASK = (1 << 64) - 1
 
 
@@ -64,6 +95,35 @@ def _consolidate(keys: list[int], values: list[int]) -> tuple[np.ndarray, np.nda
         return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
     ks, vs = zip(*kept)
     return np.array(ks, dtype=np.uint64), np.array(vs, dtype=np.int64)
+
+
+def _consolidate_batch(
+    owner: np.ndarray, keys: np.ndarray, values: np.ndarray, trials: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`_consolidate` across trials.
+
+    Merges duplicate (trial, key) entries, drops zero deltas, and returns
+    ``(owner, keys, values, per-trial entry counts)`` sorted by trial.
+    Entry *order within a trial* may differ from the scalar dict-insertion
+    order; the minireduction table is order-invariant, so verdicts are
+    unaffected.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.uint64)
+    values = np.asarray(values, dtype=np.int64)
+    counts = np.zeros(trials, dtype=np.int64)
+    if owner.size == 0:
+        return owner.astype(np.intp), keys, values, counts
+    order = np.lexsort((keys, owner))
+    o, k, v = owner[order], keys[order], values[order]
+    first = np.concatenate(([True], (o[1:] != o[:-1]) | (k[1:] != k[:-1])))
+    starts = np.flatnonzero(first)
+    sums = np.add.reduceat(v, starts)
+    o, k = o[starts], k[starts]
+    keep = sums != 0
+    o, k, sums = o[keep], k[keep], sums[keep]
+    counts = np.bincount(o, minlength=trials)
+    return o.astype(np.intp), k, sums, counts
 
 
 # ---------------------------------------------------------------------------
@@ -111,6 +171,54 @@ class KVManipulator:
             f"{_MAX_REDRAWS} attempts (degenerate input?)"
         )
 
+    def _draw_batch(
+        self, rng: SplitMixStreamBatch, keys, values, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One attempt for trials ``idx``: consolidated (owner, dk, dv).
+
+        Consumes each listed trial's stream draws exactly as the scalar
+        :meth:`_draw` would; trials whose attempt was a no-op simply have
+        no entries in the result.
+        """
+        raise NotImplementedError
+
+    def sample_delta_batch(
+        self, rng: SplitMixStreamBatch, keys, values, trials: int | None = None
+    ) -> KVManipulationBatch:
+        """Batched :meth:`sample_delta`: one fault per stream in ``rng``.
+
+        Trial ``t``'s fault (and stream consumption, redraws included)
+        equals ``sample_delta(SplitMixStream(seed_t), ...)`` for the seed
+        behind ``rng``'s stream ``t``.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.int64)
+        total = rng.size
+        if trials is not None and trials != total:
+            raise ValueError(f"rng carries {total} streams, trials={trials}")
+        owner_parts, key_parts, val_parts = [], [], []
+        pending = np.arange(total, dtype=np.intp)
+        for _ in range(_MAX_REDRAWS):
+            if pending.size == 0:
+                break
+            o, dk, dv = self._draw_batch(rng, keys, values, pending)
+            owner_parts.append(o)
+            key_parts.append(dk)
+            val_parts.append(dv)
+            effective = np.zeros(total, dtype=bool)
+            effective[o] = True
+            pending = pending[~effective[pending]]
+        if pending.size:
+            raise RuntimeError(
+                f"{self.name}: could not draw an effective fault in "
+                f"{_MAX_REDRAWS} attempts (degenerate input?)"
+            )
+        owner = np.concatenate(owner_parts) if owner_parts else np.zeros(0, np.intp)
+        dk = np.concatenate(key_parts) if key_parts else np.zeros(0, np.uint64)
+        dv = np.concatenate(val_parts) if val_parts else np.zeros(0, np.int64)
+        order = np.argsort(owner, kind="stable")
+        return KVManipulationBatch(owner[order], dk[order], dv[order], total)
+
 
 class Bitflip(KVManipulator):
     """Flip a random bit of a random input element (key or value part).
@@ -139,6 +247,20 @@ class Bitflip(KVManipulator):
         dk, dv = _consolidate([k, nk], [-v, v])
         return dk, dv, [(i, nk, v)]
 
+    def _draw_batch(self, rng, keys, values, idx):
+        i = rng.integers(keys.size, index=idx).astype(np.intp)
+        bit = rng.integers(self.key_bits + self.value_bits, index=idx)
+        k, v = keys[i], values[i]
+        val_flip = bit < np.uint64(self.value_bits)
+        dv_val = (v ^ (np.int64(1) << bit.astype(np.int64))) - v
+        key_shift = (bit - np.uint64(self.value_bits)) & np.uint64(63)
+        nk = k ^ (np.uint64(1) << key_shift)
+        kf = ~val_flip
+        owner = np.concatenate((idx[val_flip], idx[kf], idx[kf]))
+        dkeys = np.concatenate((k[val_flip], k[kf], nk[kf]))
+        dvals = np.concatenate((dv_val[val_flip], -v[kf], v[kf]))
+        return _consolidate_batch(owner, dkeys, dvals, rng.size)[:3]
+
 
 class RandKey(KVManipulator):
     """Randomize the key of a random element (within the key domain)."""
@@ -156,6 +278,15 @@ class RandKey(KVManipulator):
         dk, dv = _consolidate([k, nk], [-v, v])
         return dk, dv, [(i, nk, v)]
 
+    def _draw_batch(self, rng, keys, values, idx):
+        i = rng.integers(keys.size, index=idx).astype(np.intp)
+        nk = rng.integers(self.key_domain, index=idx)
+        k, v = keys[i], values[i]
+        owner = np.concatenate((idx, idx))
+        dkeys = np.concatenate((k, nk))
+        dvals = np.concatenate((-v, v))
+        return _consolidate_batch(owner, dkeys, dvals, rng.size)[:3]
+
 
 class SwitchValues(KVManipulator):
     """Switch the values of two random elements."""
@@ -171,6 +302,16 @@ class SwitchValues(KVManipulator):
         dk, dv = _consolidate([ki, kj], [vj - vi, vi - vj])
         return dk, dv, [(i, ki, vj), (j, kj, vi)]
 
+    def _draw_batch(self, rng, keys, values, idx):
+        i = rng.integers(keys.size, index=idx).astype(np.intp)
+        j = rng.integers(keys.size, index=idx).astype(np.intp)
+        ki, kj = keys[i], keys[j]
+        vi, vj = values[i], values[j]
+        owner = np.concatenate((idx, idx))
+        dkeys = np.concatenate((ki, kj))
+        dvals = np.concatenate((vj - vi, vi - vj))
+        return _consolidate_batch(owner, dkeys, dvals, rng.size)[:3]
+
 
 class IncKey(KVManipulator):
     """Increment the key of a random element."""
@@ -184,6 +325,16 @@ class IncKey(KVManipulator):
         nk = (k + 1) & _KEY_MASK
         dk, dv = _consolidate([k, nk], [-v, v])
         return dk, dv, [(i, nk, v)]
+
+    def _draw_batch(self, rng, keys, values, idx):
+        i = rng.integers(keys.size, index=idx).astype(np.intp)
+        k, v = keys[i], values[i]
+        with np.errstate(over="ignore"):
+            nk = k + np.uint64(1)
+        owner = np.concatenate((idx, idx))
+        dkeys = np.concatenate((k, nk))
+        dvals = np.concatenate((-v, v))
+        return _consolidate_batch(owner, dkeys, dvals, rng.size)[:3]
 
 
 class IncDec(KVManipulator):
@@ -231,6 +382,42 @@ class IncDec(KVManipulator):
         dk, dv = _consolidate(delta_keys, delta_vals)
         return dk, dv, edits
 
+    def _draw_batch(self, rng, keys, values, idx):
+        # Re-enact the scalar rejection loop in lock-step: every incomplete
+        # trial draws one index per step (duplicates of an already-picked
+        # key are discarded, consuming the draw), and stops the moment it
+        # holds 2n distinct keys.  Per-trial stream counters diverge
+        # naturally through rng's index bookkeeping.
+        needed = 2 * self.n
+        m = idx.size
+        picked_key = np.zeros((m, needed), dtype=np.uint64)
+        picked_idx = np.zeros((m, needed), dtype=np.intp)
+        counts = np.zeros(m, dtype=np.int64)
+        ranks = np.arange(needed, dtype=np.int64)
+        for _ in range(64 * needed):
+            open_rows = np.flatnonzero(counts < needed)
+            if open_rows.size == 0:
+                break
+            draws = rng.integers(keys.size, index=idx[open_rows]).astype(np.intp)
+            k = keys[draws]
+            dup = (
+                (picked_key[open_rows] == k[:, None])
+                & (ranks[None, :] < counts[open_rows, None])
+            ).any(axis=1)
+            rows = open_rows[~dup]
+            picked_key[rows, counts[rows]] = k[~dup]
+            picked_idx[rows, counts[rows]] = draws[~dup]
+            counts[rows] += 1
+        done = np.flatnonzero(counts == needed)
+        pk = picked_key[done]  # (c, needed)
+        pv = values[picked_idx[done]]
+        with np.errstate(over="ignore"):
+            nk = pk + np.where(ranks[None, :] < self.n, 1, -1).astype(np.uint64)
+        owner = np.repeat(idx[done], 2 * needed)
+        dkeys = np.stack((pk, nk), axis=2).reshape(-1)
+        dvals = np.stack((-pv, pv), axis=2).reshape(-1)
+        return _consolidate_batch(owner, dkeys, dvals, rng.size)[:3]
+
 
 # ---------------------------------------------------------------------------
 # Table 6: permutation/sort manipulators
@@ -273,6 +460,41 @@ class SeqManipulator:
                 )
         raise RuntimeError(f"{self.name}: no effective fault in {_MAX_REDRAWS} draws")
 
+    def _draw_batch(
+        self, rng: SplitMixStreamBatch, seq: np.ndarray, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One attempt for trials ``idx``: ``(element index, new value, ok)``.
+
+        Consumes each trial's stream draws exactly as the scalar
+        :meth:`_draw`; ``ok`` marks trials whose draw was effective.
+        """
+        raise NotImplementedError
+
+    def sample_change_batch(
+        self, rng: SplitMixStreamBatch, seq, trials: int | None = None
+    ) -> SeqManipulationBatch:
+        """Batched :meth:`sample_change`: one (removed, added) per stream."""
+        seq = np.asarray(seq, dtype=np.uint64)
+        total = rng.size
+        if trials is not None and trials != total:
+            raise ValueError(f"rng carries {total} streams, trials={trials}")
+        removed = np.zeros(total, dtype=np.uint64)
+        added = np.zeros(total, dtype=np.uint64)
+        pending = np.arange(total, dtype=np.intp)
+        for _ in range(_MAX_REDRAWS):
+            if pending.size == 0:
+                break
+            i, nv, ok = self._draw_batch(rng, seq, pending)
+            good = pending[ok]
+            removed[good] = seq[i[ok]]
+            added[good] = nv[ok]
+            pending = pending[~ok]
+        if pending.size:
+            raise RuntimeError(
+                f"{self.name}: no effective fault in {_MAX_REDRAWS} draws"
+            )
+        return SeqManipulationBatch(removed, added)
+
 
 class SeqBitflip(SeqManipulator):
     """Flip a random bit of a random element (within ``bit_width`` bits)."""
@@ -287,6 +509,12 @@ class SeqBitflip(SeqManipulator):
         bit = int(rng.integers(self.bit_width))
         return i, int(seq[i]) ^ (1 << bit)
 
+    def _draw_batch(self, rng, seq, idx):
+        i = rng.integers(seq.size, index=idx).astype(np.intp)
+        bit = rng.integers(self.bit_width, index=idx)
+        nv = seq[i] ^ (np.uint64(1) << bit)
+        return i, nv, np.ones(idx.size, dtype=bool)
+
 
 class Increment(SeqManipulator):
     """Increment a random element's value by one (the CRC killer)."""
@@ -296,6 +524,12 @@ class Increment(SeqManipulator):
     def _draw(self, rng, seq):
         i = int(rng.integers(len(seq)))
         return i, int(seq[i]) + 1
+
+    def _draw_batch(self, rng, seq, idx):
+        i = rng.integers(seq.size, index=idx).astype(np.intp)
+        with np.errstate(over="ignore"):
+            nv = seq[i] + np.uint64(1)
+        return i, nv, np.ones(idx.size, dtype=bool)
 
 
 class Randomize(SeqManipulator):
@@ -313,6 +547,11 @@ class Randomize(SeqManipulator):
             return None
         return i, nv
 
+    def _draw_batch(self, rng, seq, idx):
+        i = rng.integers(seq.size, index=idx).astype(np.intp)
+        nv = rng.integers(self.universe, index=idx)
+        return i, nv, nv != seq[i]
+
 
 class Reset(SeqManipulator):
     """Reset a random element to the default value 0."""
@@ -324,6 +563,10 @@ class Reset(SeqManipulator):
         if int(seq[i]) == 0:
             return None
         return i, 0
+
+    def _draw_batch(self, rng, seq, idx):
+        i = rng.integers(seq.size, index=idx).astype(np.intp)
+        return i, np.zeros(idx.size, dtype=np.uint64), seq[i] != 0
 
 
 class SetEqual(SeqManipulator):
@@ -341,6 +584,11 @@ class SetEqual(SeqManipulator):
         if int(seq[j]) == int(seq[i]):
             return None
         return i, int(seq[j])
+
+    def _draw_batch(self, rng, seq, idx):
+        i = rng.integers(seq.size, index=idx).astype(np.intp)
+        j = rng.integers(seq.size, index=idx).astype(np.intp)
+        return i, seq[j], seq[j] != seq[i]
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.hashing.families import HashFamily
 from repro.util.bits import ceil_log2, is_power_of_two
-from repro.util.rng import derive_seed
+from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
 
 def split_bit_groups(
@@ -113,3 +113,66 @@ class BucketAssigner:
     def assign_one(self, key: int) -> list[int]:
         """Scalar version of :meth:`assign` for a single key."""
         return [int(b) for b in self.assign(np.array([key], dtype=np.uint64))[:, 0]]
+
+    def assign_batch(
+        self, seeds: np.ndarray, keys: np.ndarray, owner: np.ndarray
+    ) -> np.ndarray:
+        """Bucket indices under many assigner seeds at once.
+
+        ``keys[i]`` is bucketed by the assigner seeded ``seeds[owner[i]]``
+        (this assigner's own seed is not used); the result row ``j`` equals
+        ``BucketAssigner(family, d, iterations, seeds[owner[i]]).assign``
+        elementwise.  This powers the batched accuracy engine, where every
+        trial carries its own fresh bucket hashes.
+        """
+        return assign_buckets_batch(
+            self.family, self.d, self.iterations, seeds, keys, owner
+        )
+
+
+def assign_buckets_batch(
+    family: HashFamily,
+    d: int,
+    iterations: int,
+    seeds: np.ndarray,
+    keys: np.ndarray,
+    owner: np.ndarray,
+) -> np.ndarray:
+    """Module-level form of :meth:`BucketAssigner.assign_batch`.
+
+    Mirrors :meth:`BucketAssigner.assign` exactly — same bit-group packing
+    for power-of-two ``d``, same ``mod d`` fallback otherwise — but draws
+    the per-evaluation hash functions from ``seeds[owner[i]]`` via the
+    family's batched kernel instead of constructing instances.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    keys = np.asarray(keys, dtype=np.uint64)
+    owner = np.asarray(owner, dtype=np.intp)
+    out = np.empty((iterations, keys.size), dtype=np.intp)
+    # Fold the "bucket" label once; each evaluation only branches on its
+    # counter (identical to derive_seed_array(seeds, "bucket", e)).
+    prefix = derive_seed_array(seeds, "bucket")
+    if is_power_of_two(d):
+        group_bits = ceil_log2(d)
+        groups_per_eval = max(1, family.bits // group_bits)
+        num_evals = -(-iterations // groups_per_eval)
+        mask = np.uint64(d - 1)
+        it = 0
+        for e in range(num_evals):
+            h = family.hash_array_batch(
+                splitmix64_array(prefix ^ np.uint64(e)), owner, keys
+            )
+            for g in range(groups_per_eval):
+                if it >= iterations:
+                    break
+                out[it] = (
+                    (h >> np.uint64(g * group_bits)) & mask
+                ).astype(np.intp)
+                it += 1
+    else:
+        for it in range(iterations):
+            h = family.hash_array_batch(
+                splitmix64_array(prefix ^ np.uint64(it)), owner, keys
+            )
+            out[it] = (h % np.uint64(d)).astype(np.intp)
+    return out

@@ -68,7 +68,7 @@ def crc32c_u64(x: int, seed: int = 0) -> int:
 
 
 def crc32c_u64_array(
-    keys: np.ndarray, seed: int = 0, nbytes: int = 8
+    keys: np.ndarray, seed=0, nbytes: int = 8
 ) -> np.ndarray:
     """Vectorized CRC-32C over the low ``nbytes`` bytes of a uint64 array.
 
@@ -77,11 +77,23 @@ def crc32c_u64_array(
     ``nbytes`` matters for detection behaviour: CRC of a 32-bit value is a
     different function than CRC of the same value stored in 64 bits, and
     the paper's workloads store 32-bit elements.
+
+    ``seed`` may be a scalar (one hash function) or an integer array
+    broadcastable to ``keys.shape`` (a per-element initial state — the
+    batched accuracy engine hashes each trial's keys under that trial's
+    seed in one call).
     """
     if not 1 <= nbytes <= 8:
         raise ValueError(f"nbytes must be in 1..8, got {nbytes}")
     keys = np.asarray(keys, dtype=np.uint64)
-    crc = np.full(keys.shape, np.uint32(seed & 0xFFFFFFFF), dtype=np.uint32)
+    if np.ndim(seed) == 0:
+        crc = np.full(keys.shape, np.uint32(int(seed) & 0xFFFFFFFF), dtype=np.uint32)
+    else:
+        seed = np.asarray(seed)
+        crc = np.broadcast_to(
+            (seed.astype(np.uint64) & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+            keys.shape,
+        )
     for byte_index in range(nbytes):
         byte = ((keys >> np.uint64(8 * byte_index)) & np.uint64(0xFF)).astype(
             np.uint32

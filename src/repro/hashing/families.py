@@ -12,13 +12,20 @@ keyed by the paper's abbreviations (§7 "Implementation Details"):
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.hashing.crc32c import crc32c_bytes, crc32c_u64_array
-from repro.hashing.mixers import MultiplyShiftHash, SplitMixHash
-from repro.hashing.tabulation import TabulationHash
+from repro.hashing.mixers import (
+    MultiplyShiftHash,
+    SplitMixHash,
+    multiply_shift_hash_batch,
+    splitmix_hash_batch,
+)
+from repro.hashing.tabulation import TabulationHash, tabulation_hash_batch
 
 
 @runtime_checkable
@@ -60,18 +67,65 @@ class _CRCHash:
         return f"CRC32CHash(seed={self.seed:#x}, nbytes={self.nbytes})"
 
 
-class HashFamily:
-    """Named factory of seeded hash functions."""
+#: Seeded instances kept per family; the heaviest (Tab64) carries 8 tables
+#: of 256 × 8 B ≈ 16 KB, so a full cache tops out around 8 MB per family.
+_INSTANCE_CACHE_SIZE = 512
 
-    def __init__(self, name: str, factory, bits: int, description: str):
+
+class HashFamily:
+    """Named factory of seeded hash functions.
+
+    ``instance`` results are memoised per seed in a small LRU: hash
+    functions are immutable once built, and checker construction repeats
+    seeds constantly (e.g. re-checking under the same configuration), so
+    regenerating tabulation tables for a seen seed would be pure waste.
+    The cache is lock-guarded — checkers are constructed concurrently on
+    the per-PE threads of :class:`repro.comm.context.Context`.
+    """
+
+    def __init__(self, name: str, factory, bits: int, description: str, batch_kernel=None):
         self.name = name
         self._factory = factory
         self.bits = bits
         self.description = description
+        self._batch_kernel = batch_kernel
+        self._cache: OrderedDict[int, HashFunction] = OrderedDict()
+        self._cache_lock = threading.Lock()
 
     def instance(self, seed: int) -> HashFunction:
-        """Create the hash function determined by ``seed``."""
-        return self._factory(seed)
+        """The hash function determined by ``seed`` (cached per seed)."""
+        key = int(seed)
+        with self._cache_lock:
+            fn = self._cache.get(key)
+            if fn is not None:
+                self._cache.move_to_end(key)
+                return fn
+        fn = self._factory(key)
+        with self._cache_lock:
+            self._cache[key] = fn
+            if len(self._cache) > _INSTANCE_CACHE_SIZE:
+                self._cache.popitem(last=False)
+        return fn
+
+    def hash_array_batch(
+        self, seeds: np.ndarray, owner: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Hash ``keys[i]`` with the instance seeded ``seeds[owner[i]]``.
+
+        A handful of numpy passes for the whole batch when the family has a
+        vector kernel; falls back to per-seed instances otherwise.  Output
+        is elementwise equal to ``instance(seeds[owner[i]]).hash_array``.
+        """
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        owner = np.asarray(owner, dtype=np.intp)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if self._batch_kernel is not None:
+            return self._batch_kernel(seeds, owner, keys)
+        out = np.empty(keys.shape, dtype=np.uint64)
+        for t in np.unique(owner):
+            pick = owner == t
+            out[pick] = self.instance(int(seeds[t])).hash_array(keys[pick])
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HashFamily({self.name!r}, bits={self.bits})"
@@ -85,12 +139,27 @@ def _register(family: HashFamily) -> HashFamily:
     return family
 
 
+def _crc_batch_kernel(nbytes: int):
+    def kernel(seeds, owner, keys):
+        return crc32c_u64_array(keys, seeds[owner], nbytes).astype(np.uint64)
+
+    return kernel
+
+
+def _tab_batch_kernel(key_bits: int, out_bits: int):
+    def kernel(seeds, owner, keys):
+        return tabulation_hash_batch(seeds, owner, keys, key_bits, out_bits)
+
+    return kernel
+
+
 CRC_FAMILY = _register(
     HashFamily(
         "CRC",
         _CRCHash,
         32,
         "CRC-32C (Castagnoli), seeded initial state; limited randomness",
+        batch_kernel=_crc_batch_kernel(8),
     )
 )
 CRC4_FAMILY = _register(
@@ -99,6 +168,7 @@ CRC4_FAMILY = _register(
         lambda seed: _CRCHash(seed, nbytes=4),
         32,
         "CRC-32C over 4-byte (32-bit) elements — the paper's stored width",
+        batch_kernel=_crc_batch_kernel(4),
     )
 )
 TAB_FAMILY = _register(
@@ -107,6 +177,7 @@ TAB_FAMILY = _register(
         lambda seed: TabulationHash(seed, key_bits=32, out_bits=32),
         32,
         "simple tabulation, 4 tables of 256 (32-bit keys)",
+        batch_kernel=_tab_batch_kernel(32, 32),
     )
 )
 TAB64_FAMILY = _register(
@@ -115,6 +186,7 @@ TAB64_FAMILY = _register(
         lambda seed: TabulationHash(seed, key_bits=64, out_bits=64),
         64,
         "simple tabulation, 8 tables of 256 (64-bit keys)",
+        batch_kernel=_tab_batch_kernel(64, 64),
     )
 )
 MIX_FAMILY = _register(
@@ -123,6 +195,9 @@ MIX_FAMILY = _register(
         lambda seed: SplitMixHash(seed, out_bits=64),
         64,
         "keyed SplitMix64 finalizer (ideal-model stand-in)",
+        batch_kernel=lambda seeds, owner, keys: splitmix_hash_batch(
+            seeds, owner, keys, 64
+        ),
     )
 )
 MSHIFT_FAMILY = _register(
@@ -131,6 +206,9 @@ MSHIFT_FAMILY = _register(
         lambda seed: MultiplyShiftHash(seed, out_bits=32),
         32,
         "2-universal multiply-shift (ablation)",
+        batch_kernel=lambda seeds, owner, keys: multiply_shift_hash_batch(
+            seeds, owner, keys, 32
+        ),
     )
 )
 

@@ -14,9 +14,38 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.rng import derive_seed, splitmix64, splitmix64_array
+from repro.util.rng import derive_seed, derive_seed_array, splitmix64, splitmix64_array
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix_hash_batch(
+    seeds: np.ndarray, owner: np.ndarray, keys: np.ndarray, out_bits: int = 64
+) -> np.ndarray:
+    """Hash ``keys[i]`` with the SplitMix function seeded ``seeds[owner[i]]``.
+
+    Elementwise equal to ``SplitMixHash(seeds[owner[i]], out_bits)``; the
+    whole batch is one vector mix regardless of how many seeds appear.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    owner = np.asarray(owner, dtype=np.intp)
+    mixed = splitmix64_array(keys ^ seeds[owner])
+    if out_bits < 64:
+        mixed &= np.uint64((1 << out_bits) - 1)
+    return mixed
+
+
+def multiply_shift_hash_batch(
+    seeds: np.ndarray, owner: np.ndarray, keys: np.ndarray, out_bits: int = 32
+) -> np.ndarray:
+    """Batched :class:`MultiplyShiftHash` under per-owner seeds."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    owner = np.asarray(owner, dtype=np.intp)
+    multipliers = derive_seed_array(seeds, "multiply-shift") | np.uint64(1)
+    with np.errstate(over="ignore"):
+        product = keys * multipliers[owner]
+    return product >> np.uint64(64 - out_bits)
 
 
 class SplitMixHash:

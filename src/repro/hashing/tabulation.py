@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.rng import derive_seed, splitmix64_array
+from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
 
 def tabulation_tables(seed: int, num_tables: int, out_bits: int = 64) -> np.ndarray:
@@ -41,6 +41,79 @@ def tabulation_tables(seed: int, num_tables: int, out_bits: int = 64) -> np.ndar
     if out_bits < 64:
         entries &= np.uint64((1 << out_bits) - 1)
     return entries.reshape(num_tables, 256)
+
+
+def tabulation_tables_batch(
+    seeds: np.ndarray, num_tables: int, out_bits: int = 64
+) -> np.ndarray:
+    """Stacked :func:`tabulation_tables` for many seeds at once.
+
+    Returns a ``(len(seeds), num_tables, 256)`` array whose slice ``[t]``
+    is byte-identical to ``tabulation_tables(seeds[t], ...)`` — the batched
+    accuracy engine draws one fresh hash function per trial from this stack
+    instead of regenerating kilobytes of tables in Python per trial.
+    """
+    if not 1 <= num_tables <= 8:
+        raise ValueError(f"num_tables must be in 1..8, got {num_tables}")
+    if not 1 <= out_bits <= 64:
+        raise ValueError(f"out_bits must be in 1..64, got {out_bits}")
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    bases = derive_seed_array(seeds, "tabulation-tables")
+    counters = (
+        np.arange(num_tables * 256, dtype=np.uint64)[None, :]
+        + (bases & np.uint64(0xFFFFFFFF))[:, None]
+    )
+    counters ^= (bases << np.uint64(1))[:, None]
+    entries = splitmix64_array(counters)
+    if out_bits < 64:
+        entries &= np.uint64((1 << out_bits) - 1)
+    return entries.reshape(seeds.size, num_tables, 256)
+
+
+#: Keys-per-seed threshold above which materializing the stacked tables
+#: beats deriving entries per key (table build costs 256 mixes per table).
+_DENSE_KEYS_PER_SEED = 64
+
+
+def tabulation_hash_batch(
+    seeds: np.ndarray,
+    owner: np.ndarray,
+    keys: np.ndarray,
+    key_bits: int = 64,
+    out_bits: int = 32,
+) -> np.ndarray:
+    """Hash ``keys[i]`` with the tabulation function seeded ``seeds[owner[i]]``.
+
+    Two regimes, identical results: for dense batches (many keys per seed)
+    one fancy-indexed gather per key byte over the stacked tables; for
+    sparse batches — the accuracy engine hashes only a fault's few keys per
+    trial — the consulted table entries are derived directly from the
+    SplitMix64 counter construction, skipping the other ~99% of each
+    trial's tables.
+    """
+    if key_bits not in (32, 64):
+        raise ValueError(f"key_bits must be 32 or 64, got {key_bits}")
+    num_tables = key_bits // 8
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    keys = np.asarray(keys, dtype=np.uint64)
+    owner = np.asarray(owner, dtype=np.intp)
+    out = np.zeros(keys.shape, dtype=np.uint64)
+    if keys.size >= seeds.size * _DENSE_KEYS_PER_SEED:
+        tables = tabulation_tables_batch(seeds, num_tables, out_bits)
+        for i in range(num_tables):
+            byte = ((keys >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.intp)
+            out ^= tables[owner, i, byte]
+        return out
+    bases = derive_seed_array(seeds, "tabulation-tables")
+    base_lo = (bases & np.uint64(0xFFFFFFFF))[owner]
+    base_hi = (bases << np.uint64(1))[owner]
+    for i in range(num_tables):
+        byte = (keys >> np.uint64(8 * i)) & np.uint64(0xFF)
+        counter = (byte + np.uint64(256 * i) + base_lo) ^ base_hi
+        out ^= splitmix64_array(counter)
+    if out_bits < 64:
+        out &= np.uint64((1 << out_bits) - 1)
+    return out
 
 
 class TabulationHash:

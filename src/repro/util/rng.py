@@ -66,6 +66,30 @@ def derive_seed(root: int, *path: int | str) -> int:
     return state
 
 
+def derive_seed_array(roots, *path) -> np.ndarray:
+    """Vectorized :func:`derive_seed`: elementwise over an array of roots.
+
+    ``roots`` may be an array or a scalar; ``path`` labels may be ints,
+    strings, or uint64 arrays (arrays broadcast against the running state,
+    so a scalar root plus one array label yields a whole seed stream).  For
+    every element the result equals the scalar ``derive_seed`` on the same
+    root/labels — this is what lets the batched trial engine reproduce the
+    reference path's seed tree exactly.
+    """
+    if isinstance(roots, (int, np.integer)):
+        roots = np.uint64(int(roots) & _MASK64)
+    state = splitmix64_array(np.asarray(roots, dtype=np.uint64))
+    for label in path:
+        if isinstance(label, str):
+            for byte in label.encode("utf-8"):
+                state = splitmix64_array(state ^ np.uint64(byte))
+        elif isinstance(label, (int, np.integer)):
+            state = splitmix64_array(state ^ np.uint64(int(label) & _MASK64))
+        else:
+            state = splitmix64_array(state ^ np.asarray(label, dtype=np.uint64))
+    return state
+
+
 def uniform_below(seed: int, bound: int) -> int:
     """Deterministic uniform integer in ``0..bound-1`` from a seed.
 
@@ -83,3 +107,76 @@ def uniform_below(seed: int, bound: int) -> int:
         state = splitmix64(state)
         if state < limit:
             return state % bound
+
+
+def uniform_below_array(seeds: np.ndarray, bound: int) -> np.ndarray:
+    """Vectorized :func:`uniform_below`: one draw per seed, elementwise equal
+    to the scalar rejection-sampling chain."""
+    bound = int(bound)
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    if bound == 1:
+        return np.zeros(seeds.shape, dtype=np.uint64)
+    limit = (1 << 64) - ((1 << 64) % bound)
+    states = splitmix64_array(seeds)
+    # limit == 2^64 iff bound divides 2^64 evenly — only then is every
+    # state acceptable and the rejection loop skippable.
+    if limit < (1 << 64):
+        lim = np.uint64(limit)
+        while True:
+            reject = states >= lim
+            if not reject.any():
+                break
+            states[reject] = splitmix64_array(states[reject])
+    return states % np.uint64(bound)
+
+
+class SplitMixStream:
+    """Counter-based per-trial randomness with a ``Generator``-like surface.
+
+    Draw ``k`` is ``uniform_below(splitmix64(seed) ^ k, bound)`` — every draw
+    is addressed by its counter alone, so a batched engine can reproduce any
+    trial's draw sequence without replaying generator state.  Only the
+    ``integers(bound)`` subset of the :class:`numpy.random.Generator` API is
+    provided; that is all the fault manipulators consume.
+    """
+
+    def __init__(self, seed: int):
+        self._base = splitmix64(int(seed) & _MASK64)
+        self._counter = 0
+
+    def integers(self, bound) -> int:
+        """Uniform draw in ``0..bound-1``; advances the counter by one."""
+        value = uniform_below(self._base ^ self._counter, int(bound))
+        self._counter += 1
+        return value
+
+
+class SplitMixStreamBatch:
+    """One :class:`SplitMixStream` per trial, advanced in lock-step.
+
+    ``integers(bound, index=trials)`` draws once for each listed trial and
+    advances only those trials' counters, so trials that redraw (rejected
+    faults) consume exactly the draws their scalar stream would.
+    """
+
+    def __init__(self, seeds: np.ndarray):
+        seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+        self._base = splitmix64_array(seeds)
+        self._counter = np.zeros(seeds.size, dtype=np.uint64)
+        self.size = seeds.size
+
+    def integers(self, bound, index=None) -> np.ndarray:
+        """Per-trial uniform draws in ``0..bound-1`` (uint64 array).
+
+        ``index`` selects the trials that draw (default: all); their
+        counters advance by one while the rest stay put.
+        """
+        if index is None:
+            seeds = self._base ^ self._counter
+            self._counter += np.uint64(1)
+        else:
+            seeds = self._base[index] ^ self._counter[index]
+            self._counter[index] += np.uint64(1)
+        return uniform_below_array(seeds, bound)

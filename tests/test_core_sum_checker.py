@@ -284,3 +284,71 @@ class TestDistributed:
             ),
         )
         assert verdicts == [False] * p
+
+
+class TestWireFormatChunked:
+    """The chunked bit-(un)packing must stay exact for any residue width."""
+
+    @pytest.mark.parametrize("log_rhat", [2, 4, 6, 10, 16, 30])
+    def test_round_trip_property_odd_residue_bits(self, log_rhat):
+        # rhat = 2^k gives residue_bits = k + 1: odd widths for even k.
+        cfg = SumCheckConfig(iterations=5, d=13, rhat=1 << log_rhat)
+        checker = SumAggregationChecker(cfg, seed=log_rhat)
+        rng = np.random.default_rng(log_rhat)
+        for _ in range(5):
+            table = np.stack(
+                [
+                    rng.integers(0, int(m), cfg.d, dtype=np.int64)
+                    for m in checker.moduli
+                ]
+            )
+            assert np.array_equal(checker.unpack(checker.pack(table)), table)
+            assert len(checker.pack(table)) == (cfg.table_bits + 7) // 8
+
+    def test_many_chunk_boundaries(self):
+        # A table larger than the pack chunk exercises chunk stitching.
+        from repro.core.sum_checker import _PACK_CHUNK_RESIDUES
+
+        cfg = SumCheckConfig(
+            iterations=3, d=_PACK_CHUNK_RESIDUES // 2 + 5, rhat=1 << 4
+        )
+        checker = SumAggregationChecker(cfg, seed=2)
+        rng = np.random.default_rng(2)
+        table = np.stack(
+            [
+                rng.integers(0, int(m), cfg.d, dtype=np.int64)
+                for m in checker.moduli
+            ]
+        )
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
+
+
+class TestVectorizedModuli:
+    def test_same_drawn_values_as_scalar_loop(self):
+        """The batched modulus draw reproduces the historical per-iteration
+        scalar draws exactly."""
+        from repro.util.rng import derive_seed, uniform_below
+
+        for label, seed in (("8x16 m15", 3), ("1x2 m31", 0xF163), ("16x16 m15", 9)):
+            cfg = SumCheckConfig.parse(label)
+            checker = SumAggregationChecker(cfg, seed)
+            expected = [
+                cfg.rhat
+                + 1
+                + uniform_below(
+                    derive_seed(seed, "sum-checker", "modulus", j), cfg.rhat
+                )
+                for j in range(cfg.iterations)
+            ]
+            assert checker.moduli.tolist() == expected
+
+    def test_batched_moduli_match_checker_instances(self):
+        from repro.core.sum_checker import draw_moduli
+
+        cfg = SumCheckConfig.parse("4x8 m7")
+        seeds = np.arange(20, dtype=np.uint64) * np.uint64(101) + np.uint64(3)
+        matrix = draw_moduli(cfg, seeds)
+        assert matrix.shape == (20, cfg.iterations)
+        for t in range(20):
+            checker = SumAggregationChecker(cfg, int(seeds[t]))
+            assert np.array_equal(matrix[t], checker.moduli)

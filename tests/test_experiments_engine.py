@@ -1,0 +1,285 @@
+"""Tests for the batched trial engine (experiments/engine.py).
+
+The load-bearing property: the engine is *exactly* the reference per-trial
+loop, vectorized — same `derive_seed` tree, same stream draws, same
+verdict for every single trial, for every manipulator and hash family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PermCheckConfig, SumCheckConfig
+from repro.core.permutation_checker import HashSumPermutationChecker
+from repro.core.sum_checker import SumAggregationChecker
+from repro.experiments.accuracy import (
+    _kv_manipulator,
+    _seq_manipulator,
+    _storage_aware_family,
+    perm_checker_accuracy,
+    sum_checker_accuracy,
+)
+from repro.experiments.engine import (
+    BatchedPermAccuracy,
+    BatchedSumAccuracy,
+    perm_change_verdicts,
+    sum_delta_verdicts,
+)
+from repro.faults.manipulators import (
+    PERM_MANIPULATORS,
+    SUM_MANIPULATORS,
+    KVManipulationBatch,
+)
+from repro.util.rng import SplitMixStream, derive_seed
+from repro.workloads.kv import sum_workload
+from repro.workloads.uniform import uniform_integers
+
+_SUM_FAMILIES = ("CRC", "Tab", "Mix")
+_PERM_FAMILIES = ("CRC", "Tab", "Mix")
+_TRIALS = 300
+_N_ELEMENTS = 2_000
+_NUM_KEYS = 500
+_UNIVERSE = 10**6
+
+
+def _reference_sum_verdicts(config, manipulator, trials, seed):
+    """Per-trial detection flags of the reference loop (the oracle)."""
+    keys, values = sum_workload(
+        _N_ELEMENTS, _NUM_KEYS, seed=derive_seed(seed, "wl")
+    )
+    man = _kv_manipulator(manipulator, _NUM_KEYS)
+    effective = config.with_hash(
+        _storage_aware_family(config.hash_family, _NUM_KEYS)
+    )
+    out = np.zeros(trials, dtype=bool)
+    for trial in range(trials):
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
+        effect = man.sample_delta(rng, keys, values)
+        checker = SumAggregationChecker(
+            effective, derive_seed(seed, "checker", trial)
+        )
+        out[trial] = checker.detects_delta(effect.delta_keys, effect.delta_values)
+    return out
+
+
+def _reference_perm_verdicts(config, manipulator, trials, seed):
+    sequence = uniform_integers(
+        min(10**6, 1 << 16), _UNIVERSE, seed=derive_seed(seed, "wl")
+    )
+    man = _seq_manipulator(manipulator, _UNIVERSE)
+    family = _storage_aware_family(config.hash_family, _UNIVERSE)
+    out = np.zeros(trials, dtype=bool)
+    for trial in range(trials):
+        rng = SplitMixStream(derive_seed(seed, "trial", trial))
+        change = man.sample_change(rng, sequence)
+        checker = HashSumPermutationChecker(
+            iterations=config.iterations,
+            hash_family=family,
+            log_h=config.log_h,
+            seed=derive_seed(seed, "hash", trial),
+        )
+        lambdas = checker.lambda_values(change.removed, change.added)
+        out[trial] = any(lam != 0 for lam in lambdas)
+    return out
+
+
+class TestSumEngineMatchesReference:
+    @pytest.mark.parametrize("family", _SUM_FAMILIES)
+    @pytest.mark.parametrize("manipulator", sorted(SUM_MANIPULATORS))
+    def test_per_trial_verdicts_identical(self, manipulator, family):
+        # A weak config so both detections and misses occur in 300 trials.
+        config = SumCheckConfig.parse("1x2 m2").with_hash(family)
+        seed = 0xE1
+        engine = BatchedSumAccuracy(
+            config, manipulator, n_elements=_N_ELEMENTS, num_keys=_NUM_KEYS,
+            seed=seed,
+        )
+        got = engine.verdicts(_TRIALS)
+        expected = _reference_sum_verdicts(config, manipulator, _TRIALS, seed)
+        assert np.array_equal(got, expected)
+        assert got.any() and not got.all(), "test config should be fallible"
+
+    def test_strong_config_and_chunking(self):
+        config = SumCheckConfig.parse("8x16 m15").with_hash("Tab")
+        engine = BatchedSumAccuracy(
+            config, "Bitflip", n_elements=_N_ELEMENTS, num_keys=_NUM_KEYS,
+            seed=1, chunk_trials=64,
+        )
+        # chunk_trials=64 forces several chunks over 150 trials; results
+        # must not depend on the chunk boundaries.
+        expected = _reference_sum_verdicts(config, "Bitflip", 150, 1)
+        assert np.array_equal(engine.verdicts(150), expected)
+
+    def test_cell_equality_via_public_api(self):
+        config = SumCheckConfig.parse("4x4 m3").with_hash("CRC")
+        kwargs = dict(n_elements=_N_ELEMENTS, num_keys=_NUM_KEYS, seed=3)
+        batched = sum_checker_accuracy(
+            config, "IncDec2", 1_000, mode="batched", **kwargs
+        )
+        reference = sum_checker_accuracy(
+            config, "IncDec2", 1_000, mode="reference", **kwargs
+        )
+        assert batched == reference
+
+    def test_unknown_mode_rejected(self):
+        config = SumCheckConfig.parse("4x4 m3")
+        with pytest.raises(ValueError):
+            sum_checker_accuracy(config, "Bitflip", 1, mode="nope")
+
+
+class TestPermEngineMatchesReference:
+    @pytest.mark.parametrize("family", _PERM_FAMILIES)
+    @pytest.mark.parametrize("manipulator", sorted(PERM_MANIPULATORS))
+    def test_per_trial_verdicts_identical(self, manipulator, family):
+        config = PermCheckConfig(log_h=2, hash_family=family)
+        seed = 0xE5
+        engine = BatchedPermAccuracy(
+            config, manipulator, universe=_UNIVERSE, seed=seed
+        )
+        got = engine.verdicts(_TRIALS)
+        expected = _reference_perm_verdicts(config, manipulator, _TRIALS, seed)
+        assert np.array_equal(got, expected)
+        assert got.any() and not got.all(), "log_h=2 should be fallible"
+
+    def test_multi_iteration_checker(self):
+        config = PermCheckConfig(log_h=1, hash_family="Mix", iterations=3)
+        engine = BatchedPermAccuracy(
+            config, "Randomize", universe=_UNIVERSE, seed=11
+        )
+        expected = _reference_perm_verdicts(config, "Randomize", _TRIALS, 11)
+        assert np.array_equal(engine.verdicts(_TRIALS), expected)
+
+    def test_cell_equality_via_public_api(self):
+        config = PermCheckConfig(log_h=3, hash_family="Tab")
+        batched = perm_checker_accuracy(
+            config, "SetEqual", 1_000, universe=_UNIVERSE, seed=5, mode="batched"
+        )
+        reference = perm_checker_accuracy(
+            config, "SetEqual", 1_000, universe=_UNIVERSE, seed=5,
+            mode="reference",
+        )
+        assert batched == reference
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("trials", [0, 1])
+    def test_sum_trial_count_edges(self, trials):
+        config = SumCheckConfig.parse("4x4 m3").with_hash("Tab")
+        kwargs = dict(n_elements=_N_ELEMENTS, num_keys=_NUM_KEYS, seed=9)
+        batched = sum_checker_accuracy(
+            config, "RandKey", trials, mode="batched", **kwargs
+        )
+        reference = sum_checker_accuracy(
+            config, "RandKey", trials, mode="reference", **kwargs
+        )
+        assert batched == reference
+        assert batched.trials == trials
+
+    @pytest.mark.parametrize("trials", [0, 1])
+    def test_perm_trial_count_edges(self, trials):
+        config = PermCheckConfig(log_h=2, hash_family="CRC")
+        batched = perm_checker_accuracy(
+            config, "Increment", trials, universe=_UNIVERSE, seed=9,
+            mode="batched",
+        )
+        reference = perm_checker_accuracy(
+            config, "Increment", trials, universe=_UNIVERSE, seed=9,
+            mode="reference",
+        )
+        assert batched == reference
+        assert batched.trials == trials
+
+    def test_verdict_kernel_validates_trial_counts(self):
+        config = SumCheckConfig.parse("4x4 m3")
+        delta = KVManipulationBatch(
+            owner=np.zeros(1, dtype=np.intp),
+            delta_keys=np.array([1], dtype=np.uint64),
+            delta_values=np.array([1], dtype=np.int64),
+            trials=1,
+        )
+        with pytest.raises(ValueError):
+            sum_delta_verdicts(config, np.arange(2, dtype=np.uint64), delta)
+
+    def test_invalid_chunk_trials(self):
+        config = SumCheckConfig.parse("4x4 m3")
+        with pytest.raises(ValueError):
+            BatchedSumAccuracy(config, "Bitflip", seed=0, chunk_trials=0)
+
+
+class TestVerdictKernelsDirect:
+    def test_sum_delta_verdicts_vs_scalar_checkers(self):
+        """The kernel equals per-seed ``detects_delta`` on a shared delta."""
+        config = SumCheckConfig.parse("2x4 m2").with_hash("Mix")
+        trials = 200
+        seeds = np.arange(trials, dtype=np.uint64) * np.uint64(13) + np.uint64(5)
+        dk = np.array([7, 8], dtype=np.uint64)
+        dv = np.array([3, -3], dtype=np.int64)
+        delta = KVManipulationBatch(
+            owner=np.repeat(np.arange(trials, dtype=np.intp), 2),
+            delta_keys=np.tile(dk, trials),
+            delta_values=np.tile(dv, trials),
+            trials=trials,
+        )
+        got = sum_delta_verdicts(config, seeds, delta)
+        for t in range(trials):
+            checker = SumAggregationChecker(config, int(seeds[t]))
+            assert got[t] == checker.detects_delta(dk, dv)
+        assert got.any() and not got.all()
+
+    def test_perm_change_verdicts_vs_scalar_checkers(self):
+        config = PermCheckConfig(log_h=2, hash_family="Tab")
+        trials = 200
+        seeds = np.arange(trials, dtype=np.uint64) * np.uint64(3) + np.uint64(1)
+        removed = np.full(trials, 12345, dtype=np.uint64)
+        added = np.full(trials, 54321, dtype=np.uint64)
+        got = perm_change_verdicts(config, "Tab", seeds, removed, added)
+        for t in range(trials):
+            checker = HashSumPermutationChecker(
+                iterations=config.iterations,
+                hash_family="Tab",
+                log_h=config.log_h,
+                seed=int(seeds[t]),
+            )
+            lambdas = checker.lambda_values(removed[t : t + 1], added[t : t + 1])
+            assert got[t] == any(lam != 0 for lam in lambdas)
+
+    def test_huge_modulus_stays_exact(self):
+        """Residue sums beyond float64's 2^52 mantissa must not flip verdicts.
+
+        Three same-bucket residues near 2r̂ = 2^53 overflow the float64
+        fast path; the kernel must fall back to exact int64 accumulation
+        and agree with the scalar checker.
+        """
+        config = SumCheckConfig(iterations=1, d=2, rhat=1 << 52, hash_family="Mix")
+        trials = 16
+        seeds = np.arange(trials, dtype=np.uint64)
+        dk = np.array([10, 11, 12], dtype=np.uint64)
+        delta = KVManipulationBatch(
+            owner=np.repeat(np.arange(trials, dtype=np.intp), 3),
+            delta_keys=np.tile(dk, trials),
+            delta_values=np.zeros(3 * trials, dtype=np.int64),
+            trials=trials,
+        )
+        for t in range(trials):
+            checker = SumAggregationChecker(config, int(seeds[t]))
+            r = int(checker.moduli[0])
+            dv = np.array([r - 1, r - 1, 3 - 2 * r], dtype=np.int64)
+            delta.delta_values[3 * t : 3 * t + 3] = dv
+        got = sum_delta_verdicts(config, seeds, delta)
+        for t in range(trials):
+            checker = SumAggregationChecker(config, int(seeds[t]))
+            expected = checker.detects_delta(
+                delta.delta_keys[3 * t : 3 * t + 3],
+                delta.delta_values[3 * t : 3 * t + 3],
+            )
+            assert got[t] == expected, t
+
+    def test_perm_log_h_out_of_range(self):
+        config = PermCheckConfig(log_h=40, hash_family="Mix")
+        with pytest.raises(ValueError):
+            perm_change_verdicts(
+                config,
+                "Tab",  # 32-bit family cannot serve log_h=40
+                np.arange(2, dtype=np.uint64),
+                np.array([1, 2], dtype=np.uint64),
+                np.array([3, 4], dtype=np.uint64),
+            )

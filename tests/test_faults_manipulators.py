@@ -174,3 +174,71 @@ class TestSeqManipulators:
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):
             get_seq_manipulator("Gremlin")
+
+
+class TestBatchedSampling:
+    """Batched samplers must replay the scalar SplitMix streams exactly."""
+
+    def _seeds(self, count):
+        from repro.util.rng import derive_seed
+
+        return np.array(
+            [derive_seed(21, "trial", t) for t in range(count)], dtype=np.uint64
+        )
+
+    @pytest.mark.parametrize("name", sorted(SUM_MANIPULATORS))
+    def test_kv_batch_matches_scalar_streams(self, name, workload):
+        from repro.util.rng import SplitMixStream, SplitMixStreamBatch
+
+        keys, values = workload
+        man = get_kv_manipulator(name) if name != "RandKey" else get_kv_manipulator(
+            name, key_domain=50
+        )
+        seeds = self._seeds(60)
+        batch = man.sample_delta_batch(
+            SplitMixStreamBatch(seeds), keys, values, trials=60
+        )
+        assert batch.trials == 60
+        for t in range(60):
+            effect = man.sample_delta(SplitMixStream(int(seeds[t])), keys, values)
+            pick = batch.owner == t
+            got = dict(
+                zip(
+                    batch.delta_keys[pick].tolist(),
+                    batch.delta_values[pick].tolist(),
+                )
+            )
+            expected = dict(
+                zip(effect.delta_keys.tolist(), effect.delta_values.tolist())
+            )
+            assert got == expected, (name, t)
+
+    @pytest.mark.parametrize("name", sorted(PERM_MANIPULATORS))
+    def test_seq_batch_matches_scalar_streams(self, name):
+        from repro.util.rng import SplitMixStream, SplitMixStreamBatch
+        from repro.workloads.uniform import uniform_integers
+
+        seq = uniform_integers(500, 10**3, seed=4)  # small universe → redraws
+        seq[::41] = 0  # zeros make Reset redraw occasionally
+        man = (
+            get_seq_manipulator(name)
+            if name != "Randomize"
+            else get_seq_manipulator(name, universe=10**3)
+        )
+        seeds = self._seeds(60)
+        batch = man.sample_change_batch(SplitMixStreamBatch(seeds), seq, trials=60)
+        for t in range(60):
+            change = man.sample_change(SplitMixStream(int(seeds[t])), seq)
+            assert int(batch.removed[t]) == int(change.removed[0]), (name, t)
+            assert int(batch.added[t]) == int(change.added[0]), (name, t)
+
+    def test_trials_mismatch_rejected(self):
+        from repro.util.rng import SplitMixStreamBatch
+
+        man = get_kv_manipulator("IncKey")
+        rng = SplitMixStreamBatch(self._seeds(4))
+        with pytest.raises(ValueError):
+            man.sample_delta_batch(
+                rng, np.arange(8, dtype=np.uint64), np.ones(8, dtype=np.int64),
+                trials=5,
+            )

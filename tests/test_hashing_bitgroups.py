@@ -94,3 +94,23 @@ class TestBucketAssigner:
         idx = ba.assign(np.arange(80_000, dtype=np.uint64))
         counts = np.bincount(idx[0], minlength=8)
         assert counts.min() > 8_500 and counts.max() < 11_500
+
+
+class TestAssignBatch:
+    @pytest.mark.parametrize("d", [16, 17])
+    @pytest.mark.parametrize("family_name", ["CRC", "Tab", "Mix"])
+    def test_matches_per_seed_assigners(self, family_name, d):
+        fam = get_family(family_name)
+        rng = np.random.default_rng(7)
+        seeds = rng.integers(0, 2**63, 5, dtype=np.uint64)
+        keys = rng.integers(0, 2**64, 30, dtype=np.uint64)
+        owner = rng.integers(0, 5, 30).astype(np.intp)
+        assigner = BucketAssigner(fam, d, 8, seed=0)
+        got = assigner.assign_batch(seeds, keys, owner)
+        assert got.shape == (8, 30)
+        for t in range(5):
+            pick = owner == t
+            expected = BucketAssigner(fam, d, 8, int(seeds[t])).assign(
+                keys[pick]
+            )
+            assert np.array_equal(got[:, pick], expected), (family_name, d, t)

@@ -93,3 +93,22 @@ class TestLinearity:
         for seed in (0, 7, 0xABCDEF):
             d = crc32c_u64(10, seed) ^ crc32c_u64(11, seed)
             assert d == crc32c_u64(10, 0) ^ crc32c_u64(11, 0)
+
+
+class TestPerElementSeeds:
+    def test_array_seed_matches_scalar_seed(self):
+        keys = np.array([0, 1, 123456789, 2**48 + 7], dtype=np.uint64)
+        seeds = np.array([5, 0xFFFFFFFF, 2**40, 9], dtype=np.uint64)
+        for nbytes in (4, 8):
+            got = crc32c_u64_array(keys, seeds, nbytes)
+            for i in range(keys.size):
+                exp = crc32c_u64_array(
+                    keys[i : i + 1], int(seeds[i]), nbytes
+                )[0]
+                assert int(got[i]) == int(exp)
+
+    def test_scalar_seed_broadcasts(self):
+        keys = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(
+            crc32c_u64_array(keys, 7), crc32c_u64_array(keys, np.uint64(7))
+        )

@@ -46,3 +46,49 @@ class TestRegistry:
         a = get_family("CRC").instance(0).hash_array(keys)
         b = get_family("CRC4").instance(0).hash_array(keys)
         assert a[0] != b[0]
+
+
+class TestInstanceCache:
+    def test_same_seed_returns_cached_object(self):
+        fam = get_family("Tab")
+        assert fam.instance(4242) is fam.instance(4242)
+
+    def test_cached_instances_stay_correct(self):
+        fam = get_family("Tab64")
+        keys = np.arange(32, dtype=np.uint64)
+        first = fam.instance(77).hash_array(keys)
+        again = fam.instance(77).hash_array(keys)
+        assert np.array_equal(first, again)
+
+
+class TestBatchedFamilyHash:
+    @pytest.mark.parametrize(
+        "name", ["CRC", "CRC4", "Tab", "Tab64", "Mix", "MShift"]
+    )
+    def test_hash_array_batch_matches_instances(self, name):
+        fam = get_family(name)
+        rng = np.random.default_rng(11)
+        seeds = rng.integers(0, 2**63, 6, dtype=np.uint64)
+        keys = rng.integers(0, 2**64, 40, dtype=np.uint64)
+        owner = rng.integers(0, 6, 40).astype(np.intp)
+        got = fam.hash_array_batch(seeds, owner, keys)
+        for i in range(keys.size):
+            exp = fam.instance(int(seeds[owner[i]])).hash_array(
+                keys[i : i + 1]
+            )[0]
+            assert int(got[i]) == int(exp), (name, i)
+
+    def test_generic_fallback_matches_kernel(self):
+        # Force the per-seed fallback path and compare with the kernel.
+        fam = get_family("Mix")
+        rng = np.random.default_rng(2)
+        seeds = rng.integers(0, 2**63, 3, dtype=np.uint64)
+        keys = rng.integers(0, 2**64, 20, dtype=np.uint64)
+        owner = rng.integers(0, 3, 20).astype(np.intp)
+        fast = fam.hash_array_batch(seeds, owner, keys)
+        kernel, fam._batch_kernel = fam._batch_kernel, None
+        try:
+            slow = fam.hash_array_batch(seeds, owner, keys)
+        finally:
+            fam._batch_kernel = kernel
+        assert np.array_equal(fast, slow)

@@ -83,3 +83,57 @@ class TestTabulationHash:
         buckets = th.hash_array(keys) % np.uint64(64)
         counts = np.bincount(buckets.astype(np.intp), minlength=64)
         assert counts.min() > 700 and counts.max() < 1300
+
+
+class TestBatchedTables:
+    def test_stack_matches_scalar_tables(self):
+        from repro.hashing.tabulation import tabulation_tables_batch
+
+        seeds = np.array([0, 1, 999, 2**63 + 5], dtype=np.uint64)
+        stack = tabulation_tables_batch(seeds, 4, 32)
+        assert stack.shape == (4, 4, 256)
+        for t, s in enumerate(seeds):
+            assert np.array_equal(stack[t], tabulation_tables(int(s), 4, 32))
+
+    def test_rejects_bad_args(self):
+        from repro.hashing.tabulation import tabulation_tables_batch
+
+        seeds = np.arange(2, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            tabulation_tables_batch(seeds, 0)
+        with pytest.raises(ValueError):
+            tabulation_tables_batch(seeds, 4, out_bits=65)
+
+
+class TestBatchedHash:
+    @pytest.mark.parametrize("key_bits,out_bits", [(32, 32), (64, 64)])
+    def test_matches_instances_sparse_and_dense(self, key_bits, out_bits):
+        from repro.hashing.tabulation import (
+            _DENSE_KEYS_PER_SEED,
+            tabulation_hash_batch,
+        )
+
+        rng = np.random.default_rng(3)
+        seeds = rng.integers(0, 2**63, 5, dtype=np.uint64)
+        # Sparse (few keys per seed) and dense (past the table threshold)
+        # regimes must agree with the per-seed instances.
+        for count in (12, 5 * _DENSE_KEYS_PER_SEED + 1):
+            keys = rng.integers(0, 2**64, count, dtype=np.uint64)
+            owner = rng.integers(0, 5, count).astype(np.intp)
+            got = tabulation_hash_batch(seeds, owner, keys, key_bits, out_bits)
+            for i in range(count):
+                fn = TabulationHash(
+                    int(seeds[owner[i]]), key_bits=key_bits, out_bits=out_bits
+                )
+                assert int(got[i]) == fn.hash_one(int(keys[i]))
+
+    def test_rejects_bad_key_bits(self):
+        from repro.hashing.tabulation import tabulation_hash_batch
+
+        with pytest.raises(ValueError):
+            tabulation_hash_batch(
+                np.arange(1, dtype=np.uint64),
+                np.zeros(1, dtype=np.intp),
+                np.arange(1, dtype=np.uint64),
+                key_bits=16,
+            )

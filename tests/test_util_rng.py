@@ -86,3 +86,66 @@ class TestUniformBelow:
 
     def test_deterministic(self):
         assert uniform_below(5, 1000) == uniform_below(5, 1000)
+
+
+class TestDeriveSeedArray:
+    def test_matches_scalar_over_roots(self):
+        from repro.util.rng import derive_seed_array
+
+        roots = np.array([0, 1, 12345, 2**63, 2**64 - 1], dtype=np.uint64)
+        got = derive_seed_array(roots, "sum-checker", "modulus", 3)
+        for r, g in zip(roots, got):
+            assert derive_seed(int(r), "sum-checker", "modulus", 3) == int(g)
+
+    def test_scalar_root_with_counter_array(self):
+        from repro.util.rng import derive_seed_array
+
+        counters = np.arange(16, dtype=np.uint64)
+        got = derive_seed_array(7, "trial", counters)
+        for t, g in zip(counters, got):
+            assert derive_seed(7, "trial", int(t)) == int(g)
+
+
+class TestUniformBelowArray:
+    def test_matches_scalar(self):
+        from repro.util.rng import uniform_below_array
+
+        seeds = np.arange(200, dtype=np.uint64)
+        for bound in (1, 2, 7, 1 << 15, 10**6, (1 << 32) + 1):
+            got = uniform_below_array(seeds, bound)
+            for s, g in zip(seeds, got):
+                assert uniform_below(int(s), bound) == int(g), bound
+
+    def test_rejects_nonpositive(self):
+        from repro.util.rng import uniform_below_array
+
+        with pytest.raises(ValueError):
+            uniform_below_array(np.arange(3, dtype=np.uint64), 0)
+
+
+class TestSplitMixStreams:
+    def test_batch_matches_scalar_streams(self):
+        from repro.util.rng import SplitMixStream, SplitMixStreamBatch
+
+        seeds = np.array([derive_seed(5, "trial", t) for t in range(8)])
+        batch = SplitMixStreamBatch(seeds)
+        scalars = [SplitMixStream(int(s)) for s in seeds]
+        # Full draws and masked draws interleaved: counters must track.
+        full = batch.integers(1000)
+        for st, v in zip(scalars, full):
+            assert st.integers(1000) == int(v)
+        idx = np.array([1, 4, 6])
+        masked = batch.integers(33, index=idx)
+        for i, v in zip(idx, masked):
+            assert scalars[i].integers(33) == int(v)
+        full2 = batch.integers(10**6)
+        for st, v in zip(scalars, full2):
+            assert st.integers(10**6) == int(v)
+
+    def test_stream_draws_in_bounds(self):
+        from repro.util.rng import SplitMixStream
+
+        stream = SplitMixStream(99)
+        draws = [stream.integers(10) for _ in range(500)]
+        assert set(draws) <= set(range(10))
+        assert len(set(draws)) == 10  # all residues appear in 500 draws
