@@ -17,11 +17,8 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.core.params import PAPER_TABLE3_SCALING, SumCheckConfig
-from repro.experiments.overhead import (
-    reduce_baseline_ns,
-    sum_checker_overhead_ns,
-)
+from repro.core.params import PAPER_TABLE3_SCALING
+from repro.experiments.overhead import OverheadEngine
 from repro.experiments.report import format_table
 
 _PAPER_NS = {
@@ -37,18 +34,11 @@ _PAPER_NS = {
 
 def test_table5_sum_checker_overhead(benchmark, overhead_elements):
     def experiment():
-        rows = [
-            sum_checker_overhead_ns(
-                SumCheckConfig.parse(label),
-                n_elements=overhead_elements,
-                seed=0x1AB5,
-            )
-            for label in PAPER_TABLE3_SCALING
-        ]
-        baseline = reduce_baseline_ns(
-            n_elements=overhead_elements, seed=0x1AB5
-        )
-        return rows, baseline
+        # The batched engine: one shared workload, every configuration and
+        # the reduce baseline timed in a single interleaved sweep.
+        engine = OverheadEngine(n_elements=overhead_elements, seed=0x1AB5)
+        all_rows = engine.measure_table5(PAPER_TABLE3_SCALING)
+        return all_rows[:-1], all_rows[-1]
 
     rows, baseline = run_once(benchmark, experiment)
     print()

@@ -46,3 +46,15 @@ def accuracy_mode() -> str:
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def best_of(fn, repeats):
+    """Minimum wall time of ``fn`` over ``repeats`` runs (noise-robust)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -18,6 +18,7 @@ union                  §6.5.1, Corollary 12                        union_checke
 merge                  §6.5.2, Corollary 13                        merge_checker
 group-by (invasive)    §6.5.3, Corollary 14                        groupby_checker
 join (invasive)        §6.5.4, Corollary 15                        join_checker
+multi-seed batching    §7.1 amortization across instances          multiseed
 =====================  ==========================================  ==========
 """
 
@@ -36,6 +37,7 @@ from repro.core.sum_checker import (
     check_count_aggregation,
     check_sum_aggregation,
 )
+from repro.core.multiseed import MultiSeedHashSumChecker, MultiSeedSumChecker
 from repro.core.average_checker import check_average_aggregation
 from repro.core.minmax_checker import (
     check_max_aggregation,
@@ -64,6 +66,8 @@ __all__ = [
     "PAPER_TABLE3_SCALING",
     "SumCheckConfig",
     "optimize_parameters",
+    "MultiSeedHashSumChecker",
+    "MultiSeedSumChecker",
     "SumAggregationChecker",
     "SumCheckerStream",
     "check_count_aggregation",

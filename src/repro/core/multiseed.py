@@ -1,0 +1,378 @@
+"""Multi-seed batched checking: many independent checkers, one data pass.
+
+Re-checking a result under ``T`` independent root seeds drives the failure
+probability from δ to δ^T, but running ``T`` :class:`SumAggregationChecker`
+instances costs ``T`` passes over the local data — ``T`` key coercions,
+``T`` hash sweeps, ``T·iterations`` scatter passes.  This module pushes the
+paper's amortization theme (§7.1: one evaluation serves many iterations)
+across checker *instances*:
+
+* the local slice is condensed **once** to its unique keys with exact
+  per-key aggregates (the minireduction table is linear in the multiset of
+  pairs, so aggregating by key first is verdict-neutral — and Zipf-keyed
+  workloads shrink 4–5×);
+* bucket indices for all ``T × iterations`` lanes come from the batched
+  hash kernels (:func:`repro.hashing.bitgroups.iter_bucket_blocks` over
+  :func:`~repro.hashing.bitgroups.assign_buckets_batch`), evaluated in
+  bounded seed blocks;
+* moduli for all seeds come from the vectorized
+  :func:`~repro.core.sum_checker.draw_moduli` path;
+* tables accumulate as a ``(T, iterations, d)`` tensor with the same
+  deferred-modulo chunking as the single-seed checker;
+* the wire format packs all ``T·iterations·d`` residues into one message,
+  so :meth:`MultiSeedSumChecker.check_distributed` reduces every seed's
+  difference table in a **single** collective.
+
+Every per-seed verdict (and table) is bit-identical to the corresponding
+single-seed checker — property-tested across hash families and operators
+in ``tests/test_core_multiseed.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import CheckResult
+from repro.core.params import SumCheckConfig
+from repro.core.sum_checker import (
+    _CHUNK_BITS,
+    _coerce_keys,
+    _coerce_values,
+    _max_magnitude,
+    _scatter_add_mod,
+    draw_moduli,
+    pack_residues,
+    unpack_residues,
+)
+from repro.core.permutation_checker import _as_sequences, wide_weighted_sum
+from repro.hashing.bitgroups import iter_bucket_blocks
+from repro.hashing.families import get_family
+from repro.util.rng import derive_seed_array, splitmix64_array
+
+#: Elements (seed-tiled unique keys) per batched hash pass; bounds the
+#: bucket-index scratch to ``iterations · chunk · 8`` bytes and keeps one
+#: block's working set cache-friendly.  Small key sets still batch
+#: thousands of seeds per hash pass; paper-scale key sets get one seed per
+#: pass, which measures faster than wider tiles (the per-pass gather and
+#: tile scratch outgrow the cache before the batching pays off).
+_DEFAULT_CHUNK_ELEMENTS = 1 << 18
+
+
+def _coerce_seeds(seeds) -> np.ndarray:
+    seeds = np.atleast_1d(np.asarray(seeds))
+    if seeds.ndim != 1 or seeds.size < 1:
+        raise ValueError(f"need a 1-d, non-empty seed array, got {seeds!r}")
+    if seeds.dtype.kind == "i":
+        seeds = seeds.astype(np.int64).view(np.uint64)
+    elif seeds.dtype.kind == "u":
+        seeds = seeds.astype(np.uint64, copy=False)
+    else:
+        # Same policy as _coerce_keys: silently truncating float seeds could
+        # collapse "independent" seeds onto one another (0.4 and 0.6 both
+        # become 0), quietly voiding the δ^T multi-seed guarantee.
+        raise TypeError(
+            f"multi-seed checkers require integer seeds, got dtype {seeds.dtype}"
+        )
+    return seeds
+
+
+class MultiSeedSumChecker:
+    """``T`` independent Algorithm 1 checkers evaluated in one data pass.
+
+    Parameters
+    ----------
+    config:
+        Shared bucket count, modulus parameter, iteration count, hash family.
+    seeds:
+        Array of ``T`` root seeds; seed ``t``'s lanes reproduce
+        ``SumAggregationChecker(config, seeds[t], operator)`` exactly.
+    operator:
+        ``"+"`` or ``"xor"`` (as in the single-seed checker).
+    chunk_elements:
+        Budget for one batched hash pass (seed-tiled unique keys).
+    """
+
+    def __init__(
+        self,
+        config: SumCheckConfig,
+        seeds,
+        operator: str = "+",
+        chunk_elements: int = _DEFAULT_CHUNK_ELEMENTS,
+    ):
+        if operator not in ("+", "xor"):
+            raise ValueError(f"unsupported reduce operator {operator!r}")
+        if chunk_elements < 1:
+            raise ValueError(f"chunk_elements must be >= 1, got {chunk_elements}")
+        self.config = config
+        self.operator = operator
+        self.seeds = _coerce_seeds(seeds)
+        self.num_seeds = self.seeds.size
+        self.chunk_elements = chunk_elements
+        self._family = get_family(config.hash_family)
+        # (T, iterations) moduli — row t equals the scalar checker's draw.
+        self.moduli = draw_moduli(config, self.seeds)
+        # Root of each seed's bucket-hash tree, matching BucketAssigner's
+        # derive_seed(seed, "sum-checker", "buckets") construction.
+        self._bucket_seeds = derive_seed_array(
+            self.seeds, "sum-checker", "buckets"
+        )
+
+    @property
+    def table_bits(self) -> int:
+        """Total wire size of all seeds' tables in bits."""
+        return self.num_seeds * self.config.table_bits
+
+    # -- local kernel --------------------------------------------------------
+    def local_tables(self, keys, values) -> np.ndarray:
+        """Condensed reductions of all seeds: ``(T, iterations, d)`` int64.
+
+        ``out[t]`` is bit-identical to
+        ``SumAggregationChecker(config, seeds[t], operator).local_tables``.
+        """
+        keys = _coerce_keys(keys)
+        values = _coerce_values(values)
+        if keys.size != values.size:
+            raise ValueError(
+                f"keys and values differ in length: {keys.size} vs {values.size}"
+            )
+        cfg = self.config
+        tables = np.zeros(
+            (self.num_seeds, cfg.iterations, cfg.d), dtype=np.int64
+        )
+        if keys.size == 0:
+            return tables
+
+        # One pass over the local data: condense to unique keys and exact
+        # per-key aggregates.  The minireduction table is linear in the
+        # multiset of pairs, so any exact aggregation order is
+        # verdict-neutral; magnitude guards pick the cheapest exact path.
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        k = unique_keys.size
+        bound = keys.size * max(_max_magnitude(values), 1)
+        agg = agg_float = None
+        if self.operator == "xor":
+            agg_xor = np.zeros(k, dtype=np.uint64)
+            np.bitwise_xor.at(agg_xor, inverse, values.view(np.uint64))
+            utables = tables.view(np.uint64)
+        elif bound < (1 << _CHUNK_BITS):
+            # All partial bucket sums fit the float64 mantissa: aggregate
+            # per key and defer every modulo to one pass per lane (§7.1).
+            agg = np.bincount(
+                inverse, weights=values.astype(np.float64), minlength=k
+            ).astype(np.int64)
+            agg_float = agg.astype(np.float64)
+        elif bound < (1 << 63):
+            # Exact in int64, but bucket sums may exceed 2^52: aggregate
+            # per key, reduce mod r per lane via the chunked scatter-add.
+            agg = np.zeros(k, dtype=np.int64)
+            np.add.at(agg, inverse, values)
+        # else: |Σ values| could overflow int64 — keys still dedup for the
+        # hash pass, but accumulation stays per element (exact mod-r path).
+
+        for start, count, buckets in iter_bucket_blocks(
+            self._family, cfg.d, cfg.iterations, self._bucket_seeds,
+            unique_keys, self.chunk_elements,
+        ):
+            for c in range(count):
+                t = start + c
+                block = buckets[:, c * k : (c + 1) * k]
+                for j in range(cfg.iterations):
+                    if agg_float is not None:
+                        # Fast path: raw weighted bincount per lane, one
+                        # deferred mod at the end (exact under `bound`).
+                        sums = np.bincount(
+                            block[j], weights=agg_float, minlength=cfg.d
+                        )
+                        tables[t, j] = sums.astype(np.int64) % int(
+                            self.moduli[t, j]
+                        )
+                    elif self.operator == "xor":
+                        np.bitwise_xor.at(utables[t, j], block[j], agg_xor)
+                    elif agg is not None:
+                        r = int(self.moduli[t, j])
+                        _scatter_add_mod(tables[t, j], block[j], agg % r, r)
+                    else:
+                        r = int(self.moduli[t, j])
+                        _scatter_add_mod(
+                            tables[t, j], block[j][inverse], values % r, r
+                        )
+        return tables
+
+    # -- table algebra -------------------------------------------------------
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ⊕ of two ``(T, iterations, d)`` table tensors."""
+        if self.operator == "+":
+            return (a + b) % self.moduli[:, :, None]
+        return (a.view(np.uint64) ^ b.view(np.uint64)).view(np.int64)
+
+    def difference(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ⊕-difference ``a ⊖ b`` of two table tensors."""
+        if self.operator == "+":
+            return (a - b) % self.moduli[:, :, None]
+        return (a.view(np.uint64) ^ b.view(np.uint64)).view(np.int64)
+
+    # -- wire format ---------------------------------------------------------
+    def pack(self, tables: np.ndarray) -> bytes:
+        """All seeds' tables as one ``T·iterations·d·residue_bits``-bit blob.
+
+        One message for all seeds is what lets the distributed check settle
+        every seed in a single reduction.
+        """
+        if self.operator == "xor":
+            return tables.astype(np.int64).tobytes()
+        return pack_residues(tables, self.config.residue_bits)
+
+    def unpack(self, payload: bytes) -> np.ndarray:
+        """Inverse of :meth:`pack`."""
+        cfg = self.config
+        shape = (self.num_seeds, cfg.iterations, cfg.d)
+        if self.operator == "xor":
+            return np.frombuffer(payload, dtype=np.int64).reshape(shape).copy()
+        total = self.num_seeds * cfg.iterations * cfg.d
+        return unpack_residues(payload, total, cfg.residue_bits).reshape(shape)
+
+    # -- verdicts ------------------------------------------------------------
+    def _result(self, per_seed: list[bool], distributed: bool) -> CheckResult:
+        return CheckResult(
+            accepted=all(per_seed),
+            checker="sum-aggregation-multiseed",
+            details={
+                "config": self.config.label(),
+                "operator": self.operator,
+                "num_seeds": self.num_seeds,
+                "per_seed_accepted": per_seed,
+                "table_bits": self.table_bits,
+                "distributed": distributed,
+            },
+        )
+
+    def check_local(self, input_kv, asserted_kv) -> CheckResult:
+        """Single-PE check; accepted iff every seed's checker accepts."""
+        diff = self.difference(
+            self.local_tables(*input_kv), self.local_tables(*asserted_kv)
+        )
+        per_seed = (~np.any(diff != 0, axis=(1, 2))).tolist()
+        return self._result(per_seed, distributed=False)
+
+    def check_distributed(self, comm, input_kv, asserted_kv) -> CheckResult:
+        """SPMD check settling all ``T`` seeds in one packed reduction."""
+        diff = self.difference(
+            self.local_tables(*input_kv), self.local_tables(*asserted_kv)
+        )
+
+        def wire_op(a: bytes, b: bytes) -> bytes:
+            return self.pack(self.combine(self.unpack(a), self.unpack(b)))
+
+        combined = comm.reduce(self.pack(diff), wire_op, root=0)
+        per_seed = None
+        if comm.rank == 0:
+            per_seed = (~np.any(self.unpack(combined), axis=(1, 2))).tolist()
+        per_seed = comm.bcast(per_seed, root=0)
+        return self._result(per_seed, distributed=True)
+
+    # -- exact fast path for experiments -------------------------------------
+    def detects_delta(self, delta_keys, delta_values) -> np.ndarray:
+        """Per-seed detection flags for a sparse error delta, ``(T,)`` bool."""
+        tables = self.local_tables(delta_keys, delta_values)
+        return np.any(tables != 0, axis=(1, 2))
+
+
+class MultiSeedHashSumChecker:
+    """``T`` independent hash-sum permutation checkers, one pass per side.
+
+    Seed ``t`` reproduces
+    ``HashSumPermutationChecker(iterations, hash_family, log_h, seeds[t])``
+    exactly: iteration hashes derive from the same
+    ``derive_seed(seed, "perm-checker", j)`` tree, evaluated through the
+    family's batched kernel over each side's unique elements (with exact
+    multiplicity weighting via :func:`wide_weighted_sum`).
+    """
+
+    def __init__(
+        self,
+        seeds,
+        iterations: int = 2,
+        hash_family: str = "Mix",
+        log_h: int = 32,
+        chunk_elements: int = _DEFAULT_CHUNK_ELEMENTS,
+    ):
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        family = get_family(hash_family)
+        if not 1 <= log_h <= family.bits:
+            raise ValueError(
+                f"log_h={log_h} out of range for {family.name} "
+                f"({family.bits} output bits)"
+            )
+        if chunk_elements < 1:
+            raise ValueError(f"chunk_elements must be >= 1, got {chunk_elements}")
+        self.seeds = _coerce_seeds(seeds)
+        self.num_seeds = self.seeds.size
+        self.iterations = iterations
+        self.hash_family = hash_family
+        self.log_h = log_h
+        self.chunk_elements = chunk_elements
+        self._family = family
+        self._mask = np.uint64((1 << log_h) - 1)
+        # Fold the "perm-checker" label once per seed; iterations branch on
+        # their counter (identical to derive_seed(seed, "perm-checker", j)).
+        self._prefix = derive_seed_array(self.seeds, "perm-checker")
+
+    def fingerprints(self, side) -> list[list[int]]:
+        """Wide hash sums per seed and iteration: ``T`` rows of ``iterations``."""
+        totals = [[0] * self.iterations for _ in range(self.num_seeds)]
+        for seq in _as_sequences(side):
+            if seq.size == 0:
+                continue
+            uniques, counts = np.unique(seq, return_counts=True)
+            k = uniques.size
+            per_block = max(1, self.chunk_elements // k)
+            for start in range(0, self.num_seeds, per_block):
+                count = min(per_block, self.num_seeds - start)
+                owner = np.repeat(np.arange(count, dtype=np.intp), k)
+                tiled = np.tile(uniques, count)
+                prefix = self._prefix[start : start + count]
+                for j in range(self.iterations):
+                    fn_seeds = splitmix64_array(prefix ^ np.uint64(j))
+                    hashed = (
+                        self._family.hash_array_batch(fn_seeds, owner, tiled)
+                        & self._mask
+                    )
+                    for c in range(count):
+                        totals[start + c][j] += wide_weighted_sum(
+                            hashed[c * k : (c + 1) * k], counts
+                        )
+        return totals
+
+    def lambda_values(self, e_side, o_side) -> list[list[int]]:
+        """λ_{t,j} = Σ h_{t,j}(e) − Σ h_{t,j}(o); zero row ⇔ seed accepts."""
+        fe = self.fingerprints(e_side)
+        fo = self.fingerprints(o_side)
+        return [
+            [a - b for a, b in zip(row_e, row_o)]
+            for row_e, row_o in zip(fe, fo)
+        ]
+
+    def check(self, e_side, o_side, comm=None) -> CheckResult:
+        """Accept iff every seed's every λ is zero; one collective if SPMD."""
+        lambdas = self.lambda_values(e_side, o_side)
+        if comm is not None:
+            # All T·iterations partial sums travel in a single all-reduction.
+            lambdas = comm.allreduce(
+                lambdas,
+                op=lambda a, b: [
+                    [x + y for x, y in zip(ra, rb)] for ra, rb in zip(a, b)
+                ],
+            )
+        per_seed = [all(lam == 0 for lam in row) for row in lambdas]
+        return CheckResult(
+            accepted=all(per_seed),
+            checker="permutation-hashsum-multiseed",
+            details={
+                "iterations": self.iterations,
+                "log_h": self.log_h,
+                "hash_family": self.hash_family,
+                "num_seeds": self.num_seeds,
+                "per_seed_accepted": per_seed,
+            },
+        )

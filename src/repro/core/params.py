@@ -52,8 +52,11 @@ class SumCheckConfig:
             raise ValueError(f"iterations must be >= 1, got {self.iterations}")
         if self.d < 2:
             raise ValueError(f"d must be >= 2, got {self.d}")
-        if self.rhat < 2:
-            raise ValueError(f"rhat must be >= 2, got {self.rhat}")
+        if self.rhat < 1:
+            # r̂ = 1 is the degenerate-but-valid floor: r is always 2 and the
+            # table carries one residue bit per bucket (Lemma 2's bound is
+            # vacuous there, but the checker itself stays one-sided correct).
+            raise ValueError(f"rhat must be >= 1, got {self.rhat}")
 
     # -- analysis ----------------------------------------------------------
     @property

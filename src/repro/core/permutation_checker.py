@@ -56,6 +56,28 @@ def wide_sum(arr: np.ndarray) -> int:
     return total
 
 
+def wide_weighted_sum(values: np.ndarray, weights: np.ndarray) -> int:
+    """Exact ``Σ values[i]·weights[i]`` for uint64 values, weights < 2^32.
+
+    The multiplicity-aware companion of :func:`wide_sum`: a multiset's hash
+    fingerprint over its *unique* elements with their counts as weights.
+    Each value splits into 32-bit halves, so every product fits uint64 and
+    the halves reduce exactly through :func:`wide_sum`.
+    """
+    values = np.asarray(values, dtype=np.uint64).ravel()
+    weights = np.asarray(weights, dtype=np.uint64).ravel()
+    if values.size != weights.size:
+        raise ValueError(
+            f"values and weights differ in length: "
+            f"{values.size} vs {weights.size}"
+        )
+    if weights.size and int(weights.max()) >= 1 << 32:
+        raise ValueError("weights must be < 2**32 for exact uint64 products")
+    lo = values & np.uint64(0xFFFFFFFF)
+    hi = values >> np.uint64(32)
+    return wide_sum(lo * weights) + (wide_sum(hi * weights) << 32)
+
+
 def _as_sequences(side) -> list[np.ndarray]:
     """Normalise one side of a comparison into a list of uint64 arrays.
 

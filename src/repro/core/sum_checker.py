@@ -26,8 +26,6 @@ requirement ``x ⊕ y ≠ x for y ≠ 0``; besides ``+`` we provide ``xor``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.base import CheckResult
@@ -49,8 +47,16 @@ def _coerce_keys(keys) -> np.ndarray:
     keys = np.asarray(keys)
     if keys.dtype.kind == "i":
         keys = keys.astype(np.int64).view(np.uint64)
-    elif keys.dtype != np.uint64:
-        keys = keys.astype(np.uint64)
+    elif keys.dtype.kind == "u":
+        keys = keys.astype(np.uint64, copy=False)
+    else:
+        # A silent astype(np.uint64) would truncate float keys (1.5 and 1.7
+        # both become key 1), merging distinct keys and letting the checker
+        # accept outputs it must reject — mirror _coerce_values and refuse.
+        raise TypeError(
+            f"sum checker requires integer keys, got dtype {keys.dtype} "
+            "(float keys would be truncated and could collide)"
+        )
     return keys.ravel()
 
 
@@ -62,6 +68,19 @@ def _coerce_values(values) -> np.ndarray:
             "(the paper leaves floating-point aggregation as future work)"
         )
     return values.astype(np.int64).ravel()
+
+
+def _max_magnitude(values: np.ndarray) -> int:
+    """Largest ``|v|`` over an int64 array as an exact Python int.
+
+    ``int(np.abs(values).max())`` is wrong at the extreme: ``abs(int64 min)``
+    overflows back to ``-2**63``, making the bound negative and silently
+    steering callers onto the inexact float64 fast path.  Two scalar
+    reductions into Python ints avoid the overflow entirely.
+    """
+    if values.size == 0:
+        return 0
+    return max(-int(values.min()), int(values.max()), 0)
 
 
 def _scatter_add_mod(
@@ -89,11 +108,41 @@ def _scatter_add_mod(
         table %= r
 
 
-@dataclass
-class _Iteration:
-    """Drawn randomness of one checker iteration."""
+def pack_residues(flat: np.ndarray, bits: int) -> bytes:
+    """Bit-pack residues into ``flat.size · bits`` bits (LSB first, + padding).
 
-    modulus: int
+    Shared wire codec of the single- and multi-seed checkers: the scratch is
+    bounded by expanding residues into bits a chunk at a time; chunks hold a
+    multiple of 8 residues, so each chunk's bitstream is byte-aligned and
+    the concatenation is identical to packing the whole stream at once.
+    """
+    flat = np.asarray(flat).ravel().astype(np.uint64)
+    shifts = np.arange(bits, dtype=np.uint64)
+    parts = []
+    for start in range(0, flat.size, _PACK_CHUNK_RESIDUES):
+        chunk = flat[start : start + _PACK_CHUNK_RESIDUES]
+        expanded = ((chunk[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        parts.append(np.packbits(expanded.ravel()).tobytes())
+    return b"".join(parts)
+
+
+def unpack_residues(payload: bytes, total: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_residues`: ``total`` residues of ``bits`` bits."""
+    payload_bytes = np.frombuffer(payload, dtype=np.uint8)
+    weights = (np.uint64(1) << np.arange(bits, dtype=np.uint64)).astype(
+        np.int64
+    )
+    out = np.empty(total, dtype=np.int64)
+    for start in range(0, total, _PACK_CHUNK_RESIDUES):
+        count = min(_PACK_CHUNK_RESIDUES, total - start)
+        first_bit = start * bits  # byte-aligned: start is a multiple of 8
+        nbits = count * bits
+        chunk = payload_bytes[first_bit // 8 : (first_bit + nbits + 7) // 8]
+        unpacked = np.unpackbits(chunk, count=nbits)
+        out[start : start + count] = (
+            unpacked.reshape(count, bits).astype(np.int64) @ weights
+        )
+    return out
 
 
 def draw_moduli(config: SumCheckConfig, seeds) -> np.ndarray:
@@ -173,7 +222,7 @@ class SumAggregationChecker:
             # one shared weight array and reduce mod r only once per
             # iteration at the very end — exact and ~3x cheaper than
             # per-element modulo.
-            max_abs = int(np.abs(values).max(initial=0))
+            max_abs = _max_magnitude(values)
             if values.size * max(max_abs, 1) < (1 << _CHUNK_BITS):
                 weights = values.astype(np.float64)
                 for j in range(cfg.iterations):
@@ -213,22 +262,7 @@ class SumAggregationChecker:
         """
         if self.operator == "xor":
             return table.astype(np.int64).tobytes()
-        bits = self.config.residue_bits
-        flat = table.ravel().astype(np.uint64)
-        # Expand residues into bits (LSB first) a bounded chunk at a time:
-        # the scratch stays ~`_PACK_CHUNK_RESIDUES · bits` bytes instead of
-        # `residues · bits`.  Chunks hold a multiple of 8 residues, so each
-        # chunk's bitstream is byte-aligned and the concatenation is
-        # identical to packing the whole stream at once.
-        shifts = np.arange(bits, dtype=np.uint64)
-        parts = []
-        for start in range(0, flat.size, _PACK_CHUNK_RESIDUES):
-            chunk = flat[start : start + _PACK_CHUNK_RESIDUES]
-            expanded = ((chunk[:, None] >> shifts) & np.uint64(1)).astype(
-                np.uint8
-            )
-            parts.append(np.packbits(expanded.ravel()).tobytes())
-        return b"".join(parts)
+        return pack_residues(table, self.config.residue_bits)
 
     def unpack(self, payload: bytes) -> np.ndarray:
         """Inverse of :meth:`pack`."""
@@ -237,23 +271,9 @@ class SumAggregationChecker:
             return np.frombuffer(payload, dtype=np.int64).reshape(
                 cfg.iterations, cfg.d
             ).copy()
-        bits = cfg.residue_bits
-        total = cfg.iterations * cfg.d
-        payload_bytes = np.frombuffer(payload, dtype=np.uint8)
-        weights = (np.uint64(1) << np.arange(bits, dtype=np.uint64)).astype(
-            np.int64
-        )
-        out = np.empty(total, dtype=np.int64)
-        for start in range(0, total, _PACK_CHUNK_RESIDUES):
-            count = min(_PACK_CHUNK_RESIDUES, total - start)
-            first_bit = start * bits  # byte-aligned: start is a multiple of 8
-            nbits = count * bits
-            chunk = payload_bytes[first_bit // 8 : (first_bit + nbits + 7) // 8]
-            unpacked = np.unpackbits(chunk, count=nbits)
-            out[start : start + count] = (
-                unpacked.reshape(count, bits).astype(np.int64) @ weights
-            )
-        return out.reshape(cfg.iterations, cfg.d)
+        return unpack_residues(
+            payload, cfg.iterations * cfg.d, cfg.residue_bits
+        ).reshape(cfg.iterations, cfg.d)
 
     # -- verdicts ------------------------------------------------------------
     def check_local(self, input_kv, asserted_kv) -> CheckResult:
@@ -353,7 +373,15 @@ class SumCheckerStream:
         )
 
     def settle(self, comm=None) -> CheckResult:
-        """Combine across PEs (if distributed) and produce the verdict."""
+        """Combine across PEs (if distributed) and produce the verdict.
+
+        A stream settles exactly once: the distributed settle runs a metered
+        reduction, so silently re-running it would double-count network
+        traffic (and a second verdict could never see new data anyway —
+        feeding after settle is already rejected).
+        """
+        if self._settled:
+            raise RuntimeError("stream already settled")
         self._settled = True
         if comm is None:
             verdict = not np.any(self._diff)

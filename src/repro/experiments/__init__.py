@@ -19,7 +19,9 @@ from repro.experiments.accuracy import (
     sum_checker_accuracy_full,
 )
 from repro.experiments.overhead import (
+    OverheadEngine,
     OverheadRow,
+    multiseed_sum_overhead_ns,
     reduce_baseline_ns,
     sort_checker_overhead_ns,
     sum_checker_overhead_ns,
@@ -38,7 +40,9 @@ __all__ = [
     "perm_checker_accuracy_full",
     "sum_checker_accuracy",
     "sum_checker_accuracy_full",
+    "OverheadEngine",
     "OverheadRow",
+    "multiseed_sum_overhead_ns",
     "reduce_baseline_ns",
     "sort_checker_overhead_ns",
     "sum_checker_overhead_ns",

@@ -26,7 +26,7 @@ from repro.core.params import (
     optimize_parameters,
 )
 from repro.experiments.accuracy import perm_checker_accuracy, sum_checker_accuracy
-from repro.experiments.overhead import reduce_baseline_ns, sum_checker_overhead_ns
+from repro.experiments.overhead import OverheadEngine
 from repro.experiments.report import format_table
 from repro.experiments.scaling import modeled_weak_scaling
 from repro.experiments.volume import checker_volume_table
@@ -109,15 +109,31 @@ def _section_fig5(trials: int, mode: str = "batched") -> str:
 
 
 def _section_table5(elements: int) -> str:
-    rows = [
-        sum_checker_overhead_ns(SumCheckConfig.parse(label), n_elements=elements)
-        for label in PAPER_TABLE3_SCALING
-    ]
-    base = reduce_baseline_ns(n_elements=elements)
+    # One engine pass times every configuration and the reduce baseline
+    # over a single shared workload (the batched overhead engine).
+    engine = OverheadEngine(n_elements=elements)
+    rows = engine.measure_table5(PAPER_TABLE3_SCALING)
     return "## Table 5 — checker overhead\n\n" + format_table(
         ["configuration", "ns/element"],
-        [(r.label, f"{r.ns_per_element:.1f}") for r in rows]
-        + [(base.label, f"{base.ns_per_element:.1f}")],
+        [(r.label, f"{r.ns_per_element:.1f}") for r in rows],
+    )
+
+
+def _section_multiseed(elements: int, num_seeds: int = 8) -> str:
+    """Multi-seed re-checking: per element·seed cost vs the single-seed row."""
+    engine = OverheadEngine(n_elements=elements)
+    labels = ("8x16 CRC m15", "16x16 Tab64 m15")
+    rows = engine.measure_table5(
+        labels,
+        include_baseline=False,
+        multiseed=[(label, num_seeds) for label in labels],
+    )
+    return (
+        f"## Multi-seed batched checking ({num_seeds} seeds)\n\n"
+        + format_table(
+            ["kernel", "ns/(element·seed)"],
+            [(r.label, f"{r.ns_per_element:.1f}") for r in rows],
+        )
     )
 
 
@@ -146,6 +162,7 @@ _SECTIONS = {
     "table2": lambda args: _section_table2(),
     "table3": lambda args: _section_table3(),
     "table5": lambda args: _section_table5(args.elements),
+    "multiseed": lambda args: _section_multiseed(args.elements),
     "fig3": lambda args: _section_fig3(args.trials, args.accuracy_mode),
     "fig4": lambda args: _section_fig4(),
     "fig5": lambda args: _section_fig5(args.trials, args.accuracy_mode),

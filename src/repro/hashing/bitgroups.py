@@ -130,6 +130,40 @@ class BucketAssigner:
         )
 
 
+def iter_bucket_blocks(
+    family: HashFamily,
+    d: int,
+    iterations: int,
+    seeds: np.ndarray,
+    keys: np.ndarray,
+    chunk_elements: int = 1 << 20,
+):
+    """Bucket every key under every seed, yielded in bounded seed blocks.
+
+    Unlike :func:`assign_buckets_batch` (one seed per key via ``owner``),
+    this is the *multi-seed* access pattern: all ``len(seeds) × iterations``
+    lanes over the same key array.  The full result would be a
+    ``(len(seeds), iterations, len(keys))`` tensor — far too large to
+    materialise for paper-scale inputs — so blocks of
+    ``max(1, chunk_elements // len(keys))`` seeds are evaluated per batched
+    hash pass and yielded as ``(start, count, buckets)`` with ``buckets``
+    of shape ``(iterations, count · len(keys))``; column ``c·len(keys)+i``
+    is seed ``seeds[start+c]`` over ``keys[i]``.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    keys = np.asarray(keys, dtype=np.uint64).ravel()
+    k = keys.size
+    per_block = max(1, chunk_elements // max(k, 1))
+    for start in range(0, seeds.size, per_block):
+        count = min(per_block, seeds.size - start)
+        owner = np.repeat(np.arange(count, dtype=np.intp), k)
+        buckets = assign_buckets_batch(
+            family, d, iterations, seeds[start : start + count],
+            np.tile(keys, count), owner,
+        )
+        yield start, count, buckets
+
+
 def assign_buckets_batch(
     family: HashFamily,
     d: int,

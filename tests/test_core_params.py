@@ -55,7 +55,13 @@ class TestSumCheckConfig:
         with pytest.raises(ValueError):
             SumCheckConfig(1, 1, 32)
         with pytest.raises(ValueError):
-            SumCheckConfig(1, 8, 1)
+            SumCheckConfig(1, 8, 0)
+
+    def test_rhat_floor_is_one_residue_bit(self):
+        # r̂ = 1 is degenerate but valid: r is always 2, one bit per bucket.
+        cfg = SumCheckConfig(2, 4, 1)
+        assert cfg.residue_bits == 1
+        assert cfg.table_bits == 2 * 4 * 1
 
 
 class TestTable2:

@@ -225,6 +225,45 @@ class TestCountAggregation:
         assert not check_count_aggregation(keys, out, STRONG, seed=1).accepted
 
 
+class TestInt64MinRegression:
+    """The fast-path guard must survive |int64 min| (np.abs overflows)."""
+
+    def test_batched_tables_equal_exact_scatter_path(self):
+        from repro.core.sum_checker import _coerce_keys, _scatter_add_mod
+
+        cfg = SumCheckConfig.parse("4x8 m15")
+        checker = SumAggregationChecker(cfg, seed=3)
+        keys = np.array([7, 11, 7, 13], dtype=np.uint64)
+        values = np.array([-(2**63), 3, 5, -(2**63)], dtype=np.int64)
+        tables = checker.local_tables(keys, values)
+        buckets = checker.assigner.assign(_coerce_keys(keys))
+        expected = np.zeros((cfg.iterations, cfg.d), dtype=np.int64)
+        for j in range(cfg.iterations):
+            r = int(checker.moduli[j])
+            _scatter_add_mod(expected[j], buckets[j], values % r, r)
+        assert np.array_equal(tables, expected)
+
+    def test_max_magnitude_is_overflow_safe(self):
+        from repro.core.sum_checker import _max_magnitude
+
+        assert _max_magnitude(np.array([-(2**63)], dtype=np.int64)) == 2**63
+        assert _max_magnitude(np.array([], dtype=np.int64)) == 0
+        assert _max_magnitude(np.array([-3, 2], dtype=np.int64)) == 3
+        # np.abs is the broken baseline this guards against.
+        assert int(np.abs(np.array([-(2**63)], dtype=np.int64)).max()) < 0
+
+    def test_guard_chooses_slow_path_not_inexact_float(self):
+        # One int64-min value among small ones: the old guard computed a
+        # *negative* bound and took the float64 bincount path, whose sums
+        # (−2^63 + small) exceed the 2^52 mantissa and round.
+        cfg = SumCheckConfig(iterations=1, d=2, rhat=1 << 15)
+        keys = np.array([5, 5], dtype=np.uint64)
+        values = np.array([-(2**63), 1], dtype=np.int64)
+        table = SumAggregationChecker(cfg, seed=1).local_tables(keys, values)
+        r = int(SumAggregationChecker(cfg, seed=1).moduli[0])
+        assert table.ravel()[table.ravel() != 0][0] == ((-(2**63) + 1) % r)
+
+
 class TestInputValidation:
     def test_float_values_rejected(self):
         with pytest.raises(TypeError):
@@ -239,6 +278,20 @@ class TestInputValidation:
             check_sum_aggregation(
                 (np.array([1, 2], dtype=np.uint64), np.array([1], dtype=np.int64)),
                 (np.array([1], dtype=np.uint64), np.array([1], dtype=np.int64)),
+                CFG,
+            )
+
+    def test_float_keys_rejected(self):
+        # astype(np.uint64) would truncate 1.5 and 1.7 to the same key 1,
+        # merging distinct keys — the checker could then accept an output
+        # it must reject.  Non-integer key dtypes now raise instead.
+        with pytest.raises(TypeError):
+            check_sum_aggregation(
+                (np.array([1.5, 1.7]), np.array([1, 2], dtype=np.int64)),
+                (
+                    np.array([1], dtype=np.uint64),
+                    np.array([3], dtype=np.int64),
+                ),
                 CFG,
             )
 
@@ -304,6 +357,58 @@ class TestWireFormatChunked:
             )
             assert np.array_equal(checker.unpack(checker.pack(table)), table)
             assert len(checker.pack(table)) == (cfg.table_bits + 7) // 8
+
+    def test_round_trip_one_residue_bit(self):
+        # r̂ = 1 is the width floor: r is always 2, one bit per residue.
+        cfg = SumCheckConfig(iterations=3, d=5, rhat=1)
+        checker = SumAggregationChecker(cfg, seed=7)
+        assert cfg.residue_bits == 1
+        assert np.all(checker.moduli == 2)
+        rng = np.random.default_rng(7)
+        table = rng.integers(0, 2, (cfg.iterations, cfg.d), dtype=np.int64)
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
+        assert len(checker.pack(table)) == (cfg.table_bits + 7) // 8
+
+    def test_round_trip_widest_residues(self):
+        # r̂ near 2^62 gives 63-bit residues — the widest int64 can carry.
+        cfg = SumCheckConfig(iterations=2, d=7, rhat=(1 << 62) - 1)
+        checker = SumAggregationChecker(cfg, seed=5)
+        assert cfg.residue_bits == 63
+        assert np.all(checker.moduli > cfg.rhat)
+        rng = np.random.default_rng(5)
+        table = np.stack(
+            [
+                rng.integers(0, int(m), cfg.d, dtype=np.int64)
+                for m in checker.moduli
+            ]
+        )
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
+
+    @pytest.mark.parametrize("extra", [-3, 1, 7])
+    def test_round_trip_table_not_multiple_of_pack_chunk(self, extra):
+        from repro.core.sum_checker import _PACK_CHUNK_RESIDUES
+
+        cfg = SumCheckConfig(
+            iterations=1, d=_PACK_CHUNK_RESIDUES + extra, rhat=1 << 2
+        )
+        checker = SumAggregationChecker(cfg, seed=extra & 7)
+        rng = np.random.default_rng(extra & 7)
+        table = rng.integers(
+            0, int(checker.moduli[0]), (1, cfg.d), dtype=np.int64
+        )
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
+        assert len(checker.pack(table)) == (cfg.table_bits + 7) // 8
+
+    def test_xor_wire_round_trip(self):
+        # The xor operator ships raw 64-bit lanes; negative int64 views
+        # must survive the trip bit-for-bit.
+        cfg = SumCheckConfig.parse("4x8 m5")
+        checker = SumAggregationChecker(cfg, seed=2, operator="xor")
+        rng = np.random.default_rng(2)
+        table = rng.integers(
+            -(2**63), 2**63, (cfg.iterations, cfg.d), dtype=np.int64
+        )
+        assert np.array_equal(checker.unpack(checker.pack(table)), table)
 
     def test_many_chunk_boundaries(self):
         # A table larger than the pack chunk exercises chunk stitching.

@@ -93,6 +93,59 @@ class TestOverhead:
         assert row.ns_per_element > 0
 
 
+class TestOverheadEngine:
+    """The batched Table 5 engine: one workload, one interleaved sweep."""
+
+    def test_full_table5_in_one_pass(self):
+        from repro.core.params import PAPER_TABLE3_SCALING
+        from repro.experiments.overhead import OverheadEngine
+
+        engine = OverheadEngine(n_elements=5_000, repeats=1)
+        rows = engine.measure_table5(PAPER_TABLE3_SCALING)
+        labels = [r.label for r in rows]
+        assert labels[:-1] == PAPER_TABLE3_SCALING
+        assert labels[-1] == "local reduce (baseline)"
+        assert all(r.ns_per_element > 0 for r in rows)
+
+    def test_workload_generated_once(self):
+        from repro.experiments.overhead import OverheadEngine
+
+        engine = OverheadEngine(n_elements=2_000, repeats=1)
+        engine.measure_table5(["4x8 m5"], include_baseline=True)
+        keys_first = engine.kv_workload[0]
+        engine.measure_table5(["4x4 m3"], include_baseline=False)
+        assert engine.kv_workload[0] is keys_first
+
+    def test_multiseed_row(self):
+        from repro.experiments.overhead import multiseed_sum_overhead_ns
+
+        row = multiseed_sum_overhead_ns(
+            SumCheckConfig.parse("4x8 m5"), num_seeds=4,
+            n_elements=5_000, repeats=1,
+        )
+        assert row.ns_per_element > 0
+        assert "multi-seed" in row.label and "x4 seeds" in row.label
+
+    def test_sort_rows_share_sweep(self):
+        from repro.experiments.overhead import OverheadEngine
+
+        rows = OverheadEngine(n_elements=5_000, repeats=1).measure_sort(
+            ("CRC", "Mix")
+        )
+        assert [r.label for r in rows] == [
+            "sort checker (CRC)",
+            "sort checker (Mix)",
+        ]
+
+    def test_validation(self):
+        from repro.experiments.overhead import OverheadEngine
+
+        with pytest.raises(ValueError):
+            OverheadEngine(n_elements=0)
+        with pytest.raises(ValueError):
+            OverheadEngine(repeats=0)
+
+
 class TestScaling:
     def test_measured_points_structure(self):
         points = measured_weak_scaling(

@@ -92,6 +92,37 @@ class TestSumCheckerStream:
         with pytest.raises(RuntimeError):
             stream.feed_input(keys, values)
 
+    def test_resettle_rejected(self, kv_small):
+        keys, values = kv_small
+        stream = SumCheckerStream(SumAggregationChecker(STRONG, seed=4))
+        stream.feed_input(keys, values)
+        stream.feed_output(keys, values)
+        assert stream.settle().accepted
+        # A second settle would re-run the (metered) reduction and
+        # double-count traffic — it must raise instead.
+        with pytest.raises(RuntimeError):
+            stream.settle()
+
+    def test_distributed_resettle_rejected_on_every_pe(self):
+        keys, values = sum_workload(1_000, num_keys=60, seed=8)
+        ctx = Context(4)
+
+        def run(comm, k, v):
+            stream = SumCheckerStream(SumAggregationChecker(STRONG, seed=6))
+            stream.feed_input(k, v)
+            stream.feed_output(k, v)
+            first = stream.settle(comm).accepted
+            try:
+                stream.settle(comm)
+            except RuntimeError:
+                return first, True
+            return first, False
+
+        results = ctx.run(
+            run, per_rank_args=list(zip(ctx.split(keys), ctx.split(values)))
+        )
+        assert results == [(True, True)] * 4
+
     @pytest.mark.parametrize("p", [2, 4])
     def test_distributed_settle(self, p):
         keys, values = sum_workload(2_000, num_keys=100, seed=5)
