@@ -14,11 +14,10 @@ the comparison honest but bounded.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import run_once, smoke_mode, write_artifact
 
 from repro.core.params import PermCheckConfig, SumCheckConfig
 from repro.experiments.accuracy import perm_checker_accuracy, sum_checker_accuracy
@@ -35,8 +34,11 @@ def _timed(fn):
 
 
 def test_accuracy_engine_speedup(benchmark, accuracy_trials):
-    batched_trials = max(accuracy_trials, 10_000)
-    reference_trials = min(batched_trials, 10_000)
+    if smoke_mode():
+        batched_trials = reference_trials = accuracy_trials
+    else:
+        batched_trials = max(accuracy_trials, 10_000)
+        reference_trials = min(batched_trials, 10_000)
     sum_cfg = SumCheckConfig.parse("8x16 m15").with_hash("Tab")
     perm_cfg = PermCheckConfig(log_h=4, hash_family="Tab")
 
@@ -108,10 +110,11 @@ def test_accuracy_engine_speedup(benchmark, accuracy_trials):
         "equivalence_trials": _EQUIVALENCE_TRIALS,
         "min_required_speedup": _MIN_SPEEDUP,
     }
-    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_artifact(_ARTIFACT, report)
     benchmark.extra_info.update(
         sum_speedup=sum_speedup, perm_speedup=perm_speedup, artifact=str(_ARTIFACT)
     )
     print(f"\nsum {sum_speedup:.1f}x, perm {perm_speedup:.1f}x -> {_ARTIFACT.name}")
-    assert sum_speedup >= _MIN_SPEEDUP, f"sum engine only {sum_speedup:.1f}x"
-    assert perm_speedup >= _MIN_SPEEDUP, f"perm engine only {perm_speedup:.1f}x"
+    if not smoke_mode():
+        assert sum_speedup >= _MIN_SPEEDUP, f"sum engine only {sum_speedup:.1f}x"
+        assert perm_speedup >= _MIN_SPEEDUP, f"perm engine only {perm_speedup:.1f}x"

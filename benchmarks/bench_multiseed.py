@@ -16,14 +16,13 @@ the paper's 10^6 so the recorded numbers stay comparable across PRs.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
 from conftest import best_of as _best_of
-from conftest import run_once
+from conftest import run_once, smoke_mode, write_artifact
 
 from repro.core.multiseed import MultiSeedSumChecker
 from repro.core.params import SumCheckConfig
@@ -80,7 +79,7 @@ def _measure_cell(label: str, keys, values, seeds, benchmark=None) -> dict:
 
 
 def test_multiseed_speedup(benchmark, overhead_elements):
-    n = max(overhead_elements, 10**6)
+    n = overhead_elements if smoke_mode() else max(overhead_elements, 10**6)
     keys, values = sum_workload(n, seed=derive_seed(0x5EED, "wl"))
     seeds = derive_seed_array(
         0x5EED, "checker", np.arange(_NUM_SEEDS, dtype=np.uint64)
@@ -98,7 +97,7 @@ def test_multiseed_speedup(benchmark, overhead_elements):
         "min_required_speedup": _MIN_SPEEDUP,
         "cells": cells,
     }
-    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_artifact(_ARTIFACT, report)
 
     by_label = {c["config"]: c for c in cells}
     primary = by_label[_PRIMARY]
@@ -112,7 +111,8 @@ def test_multiseed_speedup(benchmark, overhead_elements):
             f"multi-seed {cell['multiseed_seconds']:.2f}s "
             f"-> {cell['speedup']:.1f}x"
         )
-    assert primary["speedup"] >= _MIN_SPEEDUP, (
-        f"multi-seed path only {primary['speedup']:.1f}x over the instance "
-        f"loop (required {_MIN_SPEEDUP}x)"
-    )
+    if not smoke_mode():
+        assert primary["speedup"] >= _MIN_SPEEDUP, (
+            f"multi-seed path only {primary['speedup']:.1f}x over the "
+            f"instance loop (required {_MIN_SPEEDUP}x)"
+        )

@@ -9,11 +9,17 @@ Trial counts scale with the environment:
   (default 300 000; paper: 10^6).
 * ``REPRO_BENCH_ACCURACY_MODE`` — ``batched`` (default, vectorized engine)
   or ``reference`` (per-trial oracle loop; identical verdicts).
+* ``REPRO_BENCH_SMOKE=1`` — CI smoke mode: tiny inputs, single repetition,
+  no artifact writes, no speedup gates.  Exists so the benchmark files are
+  *executed* on every push (they can't silently rot) without asking a
+  shared runner for stable timings.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -25,14 +31,34 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+def smoke_mode() -> bool:
+    """True under ``REPRO_BENCH_SMOKE=1`` (correctness-only bench runs)."""
+    return os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_smoke() -> bool:
+    return smoke_mode()
+
+
+def write_artifact(path: Path, payload: dict) -> None:
+    """Persist a BENCH_*.json artifact — skipped in smoke mode so a tiny
+    CI run never overwrites the recorded full-scale numbers."""
+    if smoke_mode():
+        return
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 @pytest.fixture(scope="session")
 def accuracy_trials() -> int:
-    return _env_int("REPRO_BENCH_TRIALS", 400)
+    return _env_int("REPRO_BENCH_TRIALS", 24 if smoke_mode() else 400)
 
 
 @pytest.fixture(scope="session")
 def overhead_elements() -> int:
-    return _env_int("REPRO_BENCH_ELEMENTS", 300_000)
+    return _env_int(
+        "REPRO_BENCH_ELEMENTS", 20_000 if smoke_mode() else 300_000
+    )
 
 
 @pytest.fixture(scope="session")
@@ -49,11 +75,15 @@ def run_once(benchmark, fn):
 
 
 def best_of(fn, repeats):
-    """Minimum wall time of ``fn`` over ``repeats`` runs (noise-robust)."""
+    """Minimum wall time of ``fn`` over ``repeats`` runs (noise-robust).
+
+    Smoke mode clamps to a single repetition — the timing is thrown away
+    there anyway.
+    """
     import time
 
     best = float("inf")
-    for _ in range(repeats):
+    for _ in range(1 if smoke_mode() else repeats):
         t0 = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - t0)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import CheckResult
+from repro.core.multiseed import MultiSeedSumChecker
 from repro.core.params import SumCheckConfig
 from repro.core.sum_checker import SumAggregationChecker, _coerce_keys
 
@@ -139,5 +140,99 @@ def check_average_aggregation(
             "config": cfg.label(),
             "certificate": "per-key counts (distributed)",
             "structural_ok": structurally_ok,
+        },
+    )
+
+
+def check_average_aggregation_multiseed(
+    input_kv,
+    asserted_keys,
+    asserted_numerators,
+    asserted_denominators,
+    certificate_counts,
+    seeds,
+    config: SumCheckConfig | None = None,
+    comm=None,
+) -> CheckResult:
+    """Corollary 8 under ``T`` root seeds, one pass per column.
+
+    The reconstruction and the structural validity test are
+    seed-independent and run once; the two coupled §6.1 checks (value and
+    count columns) then go through one :class:`MultiSeedSumChecker`, so
+    all ``T`` seeds share the key condensations and, when distributed,
+    settle in a single reduction.  Per-seed verdicts
+    (``details["per_seed_accepted"]``) equal ``T`` independent
+    :func:`check_average_aggregation` calls.
+    """
+    cfg = config or _DEFAULT_CONFIG
+    in_keys, in_values = input_kv
+    in_keys = _coerce_keys(in_keys)
+    in_values = np.asarray(in_values, dtype=np.int64).ravel()
+    out_keys = _coerce_keys(asserted_keys)
+
+    sums, valid = reconstruct_sums(
+        asserted_numerators, asserted_denominators, certificate_counts
+    )
+    structurally_ok = bool(np.all(valid))
+    counts = np.asarray(certificate_counts, dtype=np.int64).ravel()
+
+    checker = MultiSeedSumChecker(cfg, seeds)
+    ones = np.ones(in_keys.shape, dtype=np.int64)
+    diff_values = checker.difference(
+        checker.local_tables(in_keys, in_values),
+        checker.local_tables(out_keys, sums),
+    )
+    diff_counts = checker.difference(
+        checker.local_tables(in_keys, ones),
+        checker.local_tables(out_keys, counts),
+    )
+
+    if comm is None:
+        values_ok = ~np.any(diff_values != 0, axis=(1, 2))
+        counts_ok = ~np.any(diff_counts != 0, axis=(1, 2))
+        per_seed = [
+            structurally_ok and bool(v and c)
+            for v, c in zip(values_ok, counts_ok)
+        ]
+    else:
+
+        def wire_op(a, b):
+            ok_a, va, ca = a
+            ok_b, vb, cb = b
+            return (
+                ok_a and ok_b,
+                checker.pack(
+                    checker.combine(checker.unpack(va), checker.unpack(vb))
+                ),
+                checker.pack(
+                    checker.combine(checker.unpack(ca), checker.unpack(cb))
+                ),
+            )
+
+        payload = (
+            structurally_ok,
+            checker.pack(diff_values),
+            checker.pack(diff_counts),
+        )
+        combined = comm.reduce(payload, wire_op, root=0)
+        per_seed = None
+        if comm.rank == 0:
+            ok, values_packed, counts_packed = combined
+            values_ok = ~np.any(checker.unpack(values_packed), axis=(1, 2))
+            counts_ok = ~np.any(checker.unpack(counts_packed), axis=(1, 2))
+            per_seed = [
+                ok and bool(v and c) for v, c in zip(values_ok, counts_ok)
+            ]
+        per_seed = comm.bcast(per_seed, root=0)
+
+    return CheckResult(
+        accepted=all(per_seed),
+        checker="average-aggregation-multiseed",
+        details={
+            "config": cfg.label(),
+            "certificate": "per-key counts (distributed)",
+            "structural_ok": structurally_ok,
+            "num_seeds": checker.num_seeds,
+            "per_seed_accepted": per_seed,
         },
     )

@@ -18,7 +18,7 @@ from repro.core.base import CheckResult
 from repro.core.permutation_checker import check_permutation_hashsum
 from repro.core.sum_checker import _coerce_keys
 from repro.hashing.families import get_family
-from repro.util.rng import derive_seed, splitmix64_array
+from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
 
 def encode_records(keys, values) -> np.ndarray:
@@ -85,5 +85,56 @@ def check_groupby_redistribution(
             "permutation": perm.details | {"accepted": perm.accepted},
             "placement_ok": placement_ok,
             "invasive": True,
+        },
+    )
+
+
+def check_groupby_redistribution_multiseed(
+    pre_kv,
+    post_kv,
+    partitioner,
+    seeds,
+    comm=None,
+    iterations: int = 2,
+    hash_family: str = "Mix",
+    log_h: int = 32,
+) -> CheckResult:
+    """Corollary 14 under ``T`` root seeds, one encoding pass.
+
+    Records are encoded once; the permutation lanes of all seeds run
+    through one :class:`~repro.core.multiseed.MultiSeedHashSumChecker`
+    (the per-seed fingerprint seeds derive exactly as the single-seed
+    checker's), and the placement test is seed-free and runs once.
+    Per-seed verdicts equal ``T`` independent
+    :func:`check_groupby_redistribution` calls.
+    """
+    from repro.core.multiseed import MultiSeedHashSumChecker, _coerce_seeds
+
+    seeds = _coerce_seeds(seeds)
+    pre_records = encode_records(*pre_kv)
+    post_records = encode_records(*post_kv)
+    perm = MultiSeedHashSumChecker(
+        derive_seed_array(seeds, "groupby-perm"),
+        iterations=iterations,
+        hash_family=hash_family,
+        log_h=log_h,
+    ).check(pre_records, post_records, comm=comm)
+    rank = comm.rank if comm is not None else 0
+    post_keys = np.asarray(post_kv[0])
+    placement_ok = bool(np.all(partitioner(post_keys) == rank))
+    if comm is not None:
+        placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+    per_seed = [
+        p and placement_ok for p in perm.details["per_seed_accepted"]
+    ]
+    return CheckResult(
+        accepted=all(per_seed),
+        checker="groupby-redistribution-multiseed",
+        details={
+            "permutation": perm.details | {"accepted": perm.accepted},
+            "placement_ok": placement_ok,
+            "invasive": True,
+            "num_seeds": int(seeds.size),
+            "per_seed_accepted": per_seed,
         },
     )

@@ -17,8 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import CheckResult
-from repro.hashing.crc32c import crc32c_bytes
-from repro.util.rng import derive_seed
+from repro.hashing.crc32c import crc32c_bytes, crc32c_zero_advance
+from repro.util.rng import derive_seed, derive_seed_array
 
 
 def replicated_digest(seed: int, *arrays) -> int:
@@ -34,6 +34,34 @@ def replicated_digest(seed: int, *arrays) -> int:
         state = crc32c_bytes(str(arr.dtype).encode(), state)
         state = crc32c_bytes(str(arr.shape).encode(), state)
     return state
+
+
+def replicated_digest_multiseed(seeds, *arrays) -> list[int]:
+    """Per-seed replicated digests in ONE pass over the data.
+
+    The digest chains CRC-32C over the same byte stream for every seed,
+    differing only in the initial state — and CRC is GF(2)-linear in its
+    state: ``crc(m, s) = crc(m, 0) ⊕ crc(0^|m|, s)``.  So the stream is
+    hashed once from state 0, and each seed contributes a zero-advance
+    constant computed in O(log |m|).  Entry ``t`` equals
+    ``replicated_digest(seeds[t], *arrays)``.
+    """
+    base = 0
+    total = 0
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        for data in (
+            arr.tobytes(),
+            str(arr.dtype).encode(),
+            str(arr.shape).encode(),
+        ):
+            base = crc32c_bytes(data, base)
+            total += len(data)
+    states = derive_seed_array(
+        np.asarray(seeds, dtype=np.uint64), "result-integrity"
+    ) & np.uint64(0xFFFFFFFF)
+    digests = np.uint32(base) ^ crc32c_zero_advance(states, total)
+    return [int(x) for x in digests]
 
 
 def check_replicated(comm, *arrays, seed: int = 0) -> CheckResult:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import CheckResult
+from repro.core.multiseed import MultiSeedSumChecker
 from repro.core.params import SumCheckConfig
 from repro.core.sum_checker import SumAggregationChecker, _coerce_keys
 
@@ -159,5 +160,65 @@ def check_median_aggregation(
             "config": cfg.label(),
             "structural_ok": bool(structurally_ok),
             "certificate": certificate is not None,
+        },
+    )
+
+
+def check_median_aggregation_multiseed(
+    input_keys,
+    input_values,
+    asserted_keys,
+    asserted_num,
+    asserted_den,
+    seeds,
+    certificate: MedianCertificate | None = None,
+    input_uids=None,
+    config: SumCheckConfig | None = None,
+    comm=None,
+) -> CheckResult:
+    """Theorem 10 under ``T`` root seeds, one contribution pass.
+
+    The −1/0/+1 mapping of Algorithm 2 is seed-independent and computed
+    once; the inner zero-sum test runs through one
+    :class:`MultiSeedSumChecker`, sharing the contribution condensation
+    across all seeds and settling distributed in a single collective.
+    Per-seed verdicts equal ``T`` independent
+    :func:`check_median_aggregation` calls.
+    """
+    cfg = config or _DEFAULT_CONFIG
+    if input_uids is None:
+        input_uids = np.zeros(np.asarray(input_keys).size, dtype=np.int64)
+    keys, contrib, structurally_ok = signed_contributions(
+        input_keys,
+        input_values,
+        input_uids,
+        asserted_keys,
+        asserted_num,
+        asserted_den,
+        certificate,
+    )
+
+    checker = MultiSeedSumChecker(cfg, seeds)
+    empty = (np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+    if comm is None:
+        inner = checker.check_local((keys, contrib), empty)
+    else:
+        structurally_ok = comm.allreduce(
+            bool(structurally_ok), op=lambda a, b: a and b
+        )
+        inner = checker.check_distributed(comm, (keys, contrib), empty)
+    per_seed = [
+        bool(structurally_ok) and ok
+        for ok in inner.details["per_seed_accepted"]
+    ]
+    return CheckResult(
+        accepted=all(per_seed),
+        checker="median-aggregation-multiseed",
+        details={
+            "config": cfg.label(),
+            "structural_ok": bool(structurally_ok),
+            "certificate": certificate is not None,
+            "num_seeds": checker.num_seeds,
+            "per_seed_accepted": per_seed,
         },
     )

@@ -21,21 +21,14 @@ import numpy as np
 
 from repro.core.base import CheckResult
 from repro.core.integrity import replicated_digest as _digest
+from repro.core.integrity import replicated_digest_multiseed
+from repro.core.multiseed import _coerce_seeds
 from repro.core.sum_checker import _coerce_keys
 
 _INT64_MAX = np.iinfo(np.int64).max
 
 
-def _check_extremum(
-    input_kv,
-    asserted_keys,
-    asserted_values,
-    certificate_owners,
-    comm,
-    seed: int,
-    sign: int,
-    name: str,
-) -> CheckResult:
+def _extremum_inputs(input_kv, asserted_keys, asserted_values, certificate_owners, sign):
     in_keys = _coerce_keys(input_kv[0])
     in_values = sign * np.asarray(input_kv[1], dtype=np.int64).ravel()
     keys = _coerce_keys(asserted_keys)
@@ -43,17 +36,11 @@ def _check_extremum(
     owners = np.asarray(certificate_owners, dtype=np.int64).ravel()
     if not (keys.size == values.size == owners.size):
         raise ValueError("asserted keys, values and certificate must align")
+    return in_keys, in_values, keys, values, owners
 
-    rank = comm.rank if comm is not None else 0
-    size = comm.size if comm is not None else 1
 
-    # Result integrity (§2): all PEs must hold identical result+certificate.
-    integrity_ok = True
-    if comm is not None:
-        digest = _digest(seed, keys, values, owners)
-        root_digest = comm.bcast(digest, root=0)
-        integrity_ok = digest == root_digest
-
+def _extremum_local_ok(in_keys, in_values, keys, values, owners, rank, size) -> bool:
+    """The seed-independent part of the Theorem 9 check, one PE's verdict."""
     # Index the asserted result by sorted key for O(log k) lookups.
     order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
@@ -62,11 +49,7 @@ def _check_extremum(
         sorted_keys.size > 1 and np.any(sorted_keys[:-1] == sorted_keys[1:])
     )
 
-    ok = (
-        integrity_ok
-        and not duplicate_keys
-        and bool(np.all((owners >= 0) & (owners < size)))
-    )
+    ok = not duplicate_keys and bool(np.all((owners >= 0) & (owners < size)))
     if ok and in_keys.size:
         # (a) every input key appears in the result, and no local element
         #     undercuts its key's asserted minimum.
@@ -88,7 +71,35 @@ def _check_extremum(
             np.minimum.at(local_min, pos, in_values)
         owned = owners[order] == rank
         ok = bool(np.all(local_min[owned] == sorted_values[owned]))
+    return ok
 
+
+def _check_extremum(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    comm,
+    seed: int,
+    sign: int,
+    name: str,
+) -> CheckResult:
+    in_keys, in_values, keys, values, owners = _extremum_inputs(
+        input_kv, asserted_keys, asserted_values, certificate_owners, sign
+    )
+    rank = comm.rank if comm is not None else 0
+    size = comm.size if comm is not None else 1
+
+    # Result integrity (§2): all PEs must hold identical result+certificate.
+    integrity_ok = True
+    if comm is not None:
+        digest = _digest(seed, keys, values, owners)
+        root_digest = comm.bcast(digest, root=0)
+        integrity_ok = digest == root_digest
+
+    ok = integrity_ok and _extremum_local_ok(
+        in_keys, in_values, keys, values, owners, rank, size
+    )
     if comm is not None:
         ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
 
@@ -99,6 +110,59 @@ def _check_extremum(
             "deterministic": True,
             "certificate": "owner PE per key, replicated at all PEs",
             "integrity_ok": bool(integrity_ok),
+        },
+    )
+
+
+def _check_extremum_multiseed(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    seeds,
+    comm,
+    sign: int,
+    name: str,
+) -> CheckResult:
+    """Theorem 9 under ``T`` seeds: one deterministic pass, T digests.
+
+    The deterministic body is seed-free and runs once; only the §2
+    integrity digest is seeded, and
+    :func:`~repro.core.integrity.replicated_digest_multiseed` evaluates
+    all ``T`` digests in one pass over the replicated result (CRC is
+    linear in its initial state).  Per-seed verdicts equal ``T``
+    independent single-seed checks.
+    """
+    seeds = _coerce_seeds(seeds)
+    in_keys, in_values, keys, values, owners = _extremum_inputs(
+        input_kv, asserted_keys, asserted_values, certificate_owners, sign
+    )
+    rank = comm.rank if comm is not None else 0
+    size = comm.size if comm is not None else 1
+
+    integrity = [True] * seeds.size
+    if comm is not None:
+        digests = replicated_digest_multiseed(seeds, keys, values, owners)
+        root_digests = comm.bcast(digests, root=0)
+        integrity = [a == b for a, b in zip(digests, root_digests)]
+
+    det_ok = _extremum_local_ok(
+        in_keys, in_values, keys, values, owners, rank, size
+    )
+    if comm is not None:
+        det_ok = comm.allreduce(bool(det_ok), op=lambda a, b: a and b)
+        integrity = comm.allreduce(
+            integrity, op=lambda a, b: [x and y for x, y in zip(a, b)]
+        )
+    per_seed = [bool(det_ok) and i for i in integrity]
+    return CheckResult(
+        accepted=all(per_seed),
+        checker=name,
+        details={
+            "deterministic": True,
+            "certificate": "owner PE per key, replicated at all PEs",
+            "num_seeds": int(seeds.size),
+            "per_seed_accepted": per_seed,
         },
     )
 
@@ -218,4 +282,46 @@ def check_min_aggregation_bitvector(
             "communication": "O(k) bits per PE (bitvector OR-reduction)",
             "integrity_ok": bool(integrity_ok),
         },
+    )
+
+
+def check_min_aggregation_multiseed(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    seeds,
+    comm=None,
+) -> CheckResult:
+    """Theorem 9 under ``T`` integrity seeds (see `_check_extremum_multiseed`)."""
+    return _check_extremum_multiseed(
+        input_kv,
+        asserted_keys,
+        asserted_values,
+        certificate_owners,
+        seeds,
+        comm,
+        sign=+1,
+        name="min-aggregation-multiseed",
+    )
+
+
+def check_max_aggregation_multiseed(
+    input_kv,
+    asserted_keys,
+    asserted_values,
+    certificate_owners,
+    seeds,
+    comm=None,
+) -> CheckResult:
+    """Theorem 9 for maxima under ``T`` integrity seeds."""
+    return _check_extremum_multiseed(
+        input_kv,
+        asserted_keys,
+        asserted_values,
+        certificate_owners,
+        seeds,
+        comm,
+        sign=-1,
+        name="max-aggregation-multiseed",
     )

@@ -30,6 +30,8 @@ in ``tests/test_core_multiseed.py``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.base import CheckResult
@@ -46,7 +48,7 @@ from repro.core.sum_checker import (
 )
 from repro.core.permutation_checker import _as_sequences, wide_weighted_sum
 from repro.hashing.bitgroups import iter_bucket_blocks
-from repro.hashing.families import get_family
+from repro.hashing.families import get_family, hash_lanes
 from repro.util.rng import derive_seed_array, splitmix64_array
 
 #: Elements (seed-tiled unique keys) per batched hash pass; bounds the
@@ -73,7 +75,80 @@ def _coerce_seeds(seeds) -> np.ndarray:
         raise TypeError(
             f"multi-seed checkers require integer seeds, got dtype {seeds.dtype}"
         )
+    if np.unique(seeds).size != seeds.size:
+        # A duplicated seed re-runs the *same* checker: the observed lanes
+        # agree by construction and the claimed δ^T bound silently degrades
+        # to δ^(distinct seeds).  Refuse rather than over-promise.
+        raise ValueError("multi-seed checkers require distinct seeds")
     return seeds
+
+
+@dataclass
+class CondensedKV:
+    """One-pass condensation of a (keys, values) multiset.
+
+    The minireduction table is linear in the multiset of pairs, so exact
+    per-key aggregation is verdict-neutral — and it is the *only* pass over
+    the raw data any multi-seed sum check needs.  Escalating from 1 seed to
+    T seeds (see :class:`repro.dataflow.pipeline.AdaptiveCheckPolicy`)
+    reuses the same condensation, so escalation never re-reads the input.
+
+    ``agg`` / ``agg_float`` / ``agg_xor`` are the exact per-unique-key
+    aggregates on the accumulation paths that admit them; when all three
+    are None the magnitude guard fell back to per-element accumulation
+    (``values`` and ``inverse`` are kept for exactly that path).
+    """
+
+    unique_keys: np.ndarray
+    inverse: np.ndarray
+    values: np.ndarray
+    agg: np.ndarray | None
+    agg_float: np.ndarray | None
+    agg_xor: np.ndarray | None
+
+    @property
+    def num_pairs(self) -> int:
+        return self.values.size
+
+
+def condense_kv(keys, values, operator: str = "+") -> CondensedKV:
+    """Condense a local slice to unique keys with exact aggregates.
+
+    One pass over the raw data; magnitude guards pick the cheapest exact
+    accumulation path exactly as the single-seed checker does (see
+    :meth:`SumAggregationChecker.local_tables`).
+    """
+    if operator not in ("+", "xor"):
+        raise ValueError(f"unsupported reduce operator {operator!r}")
+    keys = _coerce_keys(keys)
+    values = _coerce_values(values)
+    if keys.size != values.size:
+        raise ValueError(
+            f"keys and values differ in length: {keys.size} vs {values.size}"
+        )
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    k = unique_keys.size
+    agg = agg_float = agg_xor = None
+    if keys.size:
+        bound = keys.size * max(_max_magnitude(values), 1)
+        if operator == "xor":
+            agg_xor = np.zeros(k, dtype=np.uint64)
+            np.bitwise_xor.at(agg_xor, inverse, values.view(np.uint64))
+        elif bound < (1 << _CHUNK_BITS):
+            # All partial bucket sums fit the float64 mantissa: aggregate
+            # per key and defer every modulo to one pass per lane (§7.1).
+            agg = np.bincount(
+                inverse, weights=values.astype(np.float64), minlength=k
+            ).astype(np.int64)
+            agg_float = agg.astype(np.float64)
+        elif bound < (1 << 63):
+            # Exact in int64, but bucket sums may exceed 2^52: aggregate
+            # per key, reduce mod r per lane via the chunked scatter-add.
+            agg = np.zeros(k, dtype=np.int64)
+            np.add.at(agg, inverse, values)
+        # else: |Σ values| could overflow int64 — keys still dedup for the
+        # hash pass, but accumulation stays per element (exact mod-r path).
+    return CondensedKV(unique_keys, inverse, values, agg, agg_float, agg_xor)
 
 
 class MultiSeedSumChecker:
@@ -129,49 +204,43 @@ class MultiSeedSumChecker:
         ``out[t]`` is bit-identical to
         ``SumAggregationChecker(config, seeds[t], operator).local_tables``.
         """
-        keys = _coerce_keys(keys)
-        values = _coerce_values(values)
-        if keys.size != values.size:
-            raise ValueError(
-                f"keys and values differ in length: {keys.size} vs {values.size}"
-            )
+        return self.local_tables_condensed(
+            condense_kv(keys, values, self.operator)
+        )
+
+    def local_tables_condensed(self, condensed: CondensedKV) -> np.ndarray:
+        """:meth:`local_tables` from an existing :class:`CondensedKV`.
+
+        The condensation is the only pass over raw data — callers that keep
+        it around (streaming feeds, adaptive escalation) evaluate any
+        number of seed sets against the same aggregates for free.
+        """
         cfg = self.config
         tables = np.zeros(
             (self.num_seeds, cfg.iterations, cfg.d), dtype=np.int64
         )
-        if keys.size == 0:
+        if condensed.num_pairs == 0:
             return tables
-
-        # One pass over the local data: condense to unique keys and exact
-        # per-key aggregates.  The minireduction table is linear in the
-        # multiset of pairs, so any exact aggregation order is
-        # verdict-neutral; magnitude guards pick the cheapest exact path.
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        k = unique_keys.size
-        bound = keys.size * max(_max_magnitude(values), 1)
-        agg = agg_float = None
+        agg = condensed.agg
+        agg_float = condensed.agg_float
+        agg_xor = condensed.agg_xor
         if self.operator == "xor":
-            agg_xor = np.zeros(k, dtype=np.uint64)
-            np.bitwise_xor.at(agg_xor, inverse, values.view(np.uint64))
+            if agg_xor is None:
+                raise ValueError(
+                    "condensed input was built for operator '+', not 'xor'"
+                )
             utables = tables.view(np.uint64)
-        elif bound < (1 << _CHUNK_BITS):
-            # All partial bucket sums fit the float64 mantissa: aggregate
-            # per key and defer every modulo to one pass per lane (§7.1).
-            agg = np.bincount(
-                inverse, weights=values.astype(np.float64), minlength=k
-            ).astype(np.int64)
-            agg_float = agg.astype(np.float64)
-        elif bound < (1 << 63):
-            # Exact in int64, but bucket sums may exceed 2^52: aggregate
-            # per key, reduce mod r per lane via the chunked scatter-add.
-            agg = np.zeros(k, dtype=np.int64)
-            np.add.at(agg, inverse, values)
-        # else: |Σ values| could overflow int64 — keys still dedup for the
-        # hash pass, but accumulation stays per element (exact mod-r path).
+        elif agg_xor is not None:
+            raise ValueError(
+                "condensed input was built for operator 'xor', not '+'"
+            )
+        k = condensed.unique_keys.size
+        values = condensed.values
+        inverse = condensed.inverse
 
         for start, count, buckets in iter_bucket_blocks(
             self._family, cfg.d, cfg.iterations, self._bucket_seeds,
-            unique_keys, self.chunk_elements,
+            condensed.unique_keys, self.chunk_elements,
         ):
             for c in range(count):
                 t = start + c
@@ -232,7 +301,9 @@ class MultiSeedSumChecker:
         return unpack_residues(payload, total, cfg.residue_bits).reshape(shape)
 
     # -- verdicts ------------------------------------------------------------
-    def _result(self, per_seed: list[bool], distributed: bool) -> CheckResult:
+    def _result(
+        self, per_seed: list[bool], distributed: bool, **extra
+    ) -> CheckResult:
         return CheckResult(
             accepted=all(per_seed),
             checker="sum-aggregation-multiseed",
@@ -243,22 +314,19 @@ class MultiSeedSumChecker:
                 "per_seed_accepted": per_seed,
                 "table_bits": self.table_bits,
                 "distributed": distributed,
+                **extra,
             },
         )
 
-    def check_local(self, input_kv, asserted_kv) -> CheckResult:
-        """Single-PE check; accepted iff every seed's checker accepts."""
-        diff = self.difference(
-            self.local_tables(*input_kv), self.local_tables(*asserted_kv)
-        )
-        per_seed = (~np.any(diff != 0, axis=(1, 2))).tolist()
-        return self._result(per_seed, distributed=False)
+    def per_seed_verdicts(self, diff: np.ndarray, comm=None) -> list[bool]:
+        """Per-seed accept flags from a local ⊕-difference tensor.
 
-    def check_distributed(self, comm, input_kv, asserted_kv) -> CheckResult:
-        """SPMD check settling all ``T`` seeds in one packed reduction."""
-        diff = self.difference(
-            self.local_tables(*input_kv), self.local_tables(*asserted_kv)
-        )
+        Sequentially a reduction over the tensor; distributed, ALL ``T``
+        seeds settle in one packed collective (reduce to PE 0 + verdict
+        broadcast), which is the whole point of the shared wire format.
+        """
+        if comm is None:
+            return (~np.any(diff != 0, axis=(1, 2))).tolist()
 
         def wire_op(a: bytes, b: bytes) -> bytes:
             return self.pack(self.combine(self.unpack(a), self.unpack(b)))
@@ -267,14 +335,117 @@ class MultiSeedSumChecker:
         per_seed = None
         if comm.rank == 0:
             per_seed = (~np.any(self.unpack(combined), axis=(1, 2))).tolist()
-        per_seed = comm.bcast(per_seed, root=0)
-        return self._result(per_seed, distributed=True)
+        return comm.bcast(per_seed, root=0)
+
+    def check_local(self, input_kv, asserted_kv) -> CheckResult:
+        """Single-PE check; accepted iff every seed's checker accepts."""
+        return self.check_local_condensed(
+            condense_kv(*input_kv, self.operator),
+            condense_kv(*asserted_kv, self.operator),
+        )
+
+    def check_local_condensed(
+        self, input_c: CondensedKV, asserted_c: CondensedKV
+    ) -> CheckResult:
+        """:meth:`check_local` over pre-condensed sides."""
+        diff = self.difference(
+            self.local_tables_condensed(input_c),
+            self.local_tables_condensed(asserted_c),
+        )
+        return self._result(self.per_seed_verdicts(diff), distributed=False)
+
+    def check_distributed(self, comm, input_kv, asserted_kv) -> CheckResult:
+        """SPMD check settling all ``T`` seeds in one packed reduction."""
+        return self.check_distributed_condensed(
+            comm,
+            condense_kv(*input_kv, self.operator),
+            condense_kv(*asserted_kv, self.operator),
+        )
+
+    def check_distributed_condensed(
+        self, comm, input_c: CondensedKV, asserted_c: CondensedKV
+    ) -> CheckResult:
+        """:meth:`check_distributed` over pre-condensed local sides."""
+        diff = self.difference(
+            self.local_tables_condensed(input_c),
+            self.local_tables_condensed(asserted_c),
+        )
+        return self._result(
+            self.per_seed_verdicts(diff, comm), distributed=True
+        )
 
     # -- exact fast path for experiments -------------------------------------
     def detects_delta(self, delta_keys, delta_values) -> np.ndarray:
         """Per-seed detection flags for a sparse error delta, ``(T,)`` bool."""
         tables = self.local_tables(delta_keys, delta_values)
         return np.any(tables != 0, axis=(1, 2))
+
+
+class MultiSeedSumCheckerStream:
+    """Streaming facade over :class:`MultiSeedSumChecker`.
+
+    The multi-seed analog of
+    :class:`~repro.core.sum_checker.SumCheckerStream`: feed input and
+    asserted-output chunks in arbitrary order, then settle once — all ``T``
+    seeds accumulate into one ``(T, iterations, d)`` difference tensor and
+    the distributed settle is a single packed collective.  Per-seed
+    verdicts equal ``T`` independent ``SumCheckerStream`` instances fed the
+    same chunks.
+    """
+
+    def __init__(self, checker: MultiSeedSumChecker):
+        self.checker = checker
+        cfg = checker.config
+        self._diff = np.zeros(
+            (checker.num_seeds, cfg.iterations, cfg.d), dtype=np.int64
+        )
+        self._settled = False
+
+    def feed_input(self, keys, values) -> None:
+        """Account a chunk of the operation's input stream."""
+        if self._settled:
+            raise RuntimeError("stream already settled")
+        self._diff = self.checker.combine(
+            self._diff, self.checker.local_tables(keys, values)
+        )
+
+    def feed_output(self, keys, values) -> None:
+        """Account a chunk of the asserted output stream."""
+        if self._settled:
+            raise RuntimeError("stream already settled")
+        self._diff = self.checker.difference(
+            self._diff, self.checker.local_tables(keys, values)
+        )
+
+    def settle(self, comm=None) -> CheckResult:
+        """Combine across PEs (if distributed) and produce per-seed verdicts.
+
+        Settles exactly once, mirroring ``SumCheckerStream.settle`` (the
+        distributed settle runs a metered reduction; silently re-running it
+        would double-count network traffic).
+        """
+        if self._settled:
+            raise RuntimeError("stream already settled")
+        self._settled = True
+        per_seed = self.checker.per_seed_verdicts(self._diff, comm)
+        return self.checker._result(
+            per_seed, distributed=comm is not None, streaming=True
+        )
+
+
+def condense_side(side) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Condense one permutation-check side to (uniques, counts) pairs.
+
+    The hash-sum fingerprint over a multiset equals the count-weighted
+    fingerprint over its support, so this single pass over the raw
+    sequence(s) is all any number of seed lanes needs — the permutation
+    analog of :func:`condense_kv`, and what adaptive escalation reuses.
+    """
+    return [
+        np.unique(seq, return_counts=True)
+        for seq in _as_sequences(side)
+        if seq.size
+    ]
 
 
 class MultiSeedHashSumChecker:
@@ -320,27 +491,36 @@ class MultiSeedHashSumChecker:
 
     def fingerprints(self, side) -> list[list[int]]:
         """Wide hash sums per seed and iteration: ``T`` rows of ``iterations``."""
+        return self.fingerprints_condensed(condense_side(side))
+
+    def fingerprints_condensed(
+        self, condensed: list[tuple[np.ndarray, np.ndarray]]
+    ) -> list[list[int]]:
+        """:meth:`fingerprints` from pre-condensed (uniques, counts) pairs.
+
+        CRC families go through the affinity hasher — one table-lookup pass
+        per (uniques) array serves every ``T × iterations`` lane; other
+        families hash tiled seed blocks.
+        """
         totals = [[0] * self.iterations for _ in range(self.num_seeds)]
-        for seq in _as_sequences(side):
-            if seq.size == 0:
-                continue
-            uniques, counts = np.unique(seq, return_counts=True)
+        for uniques, counts in condensed:
             k = uniques.size
+            if k == 0:
+                continue
+            hasher = self._family.multiseed_hasher(uniques)
             per_block = max(1, self.chunk_elements // k)
             for start in range(0, self.num_seeds, per_block):
                 count = min(per_block, self.num_seeds - start)
-                owner = np.repeat(np.arange(count, dtype=np.intp), k)
-                tiled = np.tile(uniques, count)
                 prefix = self._prefix[start : start + count]
                 for j in range(self.iterations):
                     fn_seeds = splitmix64_array(prefix ^ np.uint64(j))
                     hashed = (
-                        self._family.hash_array_batch(fn_seeds, owner, tiled)
+                        hash_lanes(self._family, fn_seeds, uniques, hasher)
                         & self._mask
                     )
                     for c in range(count):
                         totals[start + c][j] += wide_weighted_sum(
-                            hashed[c * k : (c + 1) * k], counts
+                            hashed[c], counts
                         )
         return totals
 
@@ -353,9 +533,24 @@ class MultiSeedHashSumChecker:
             for row_e, row_o in zip(fe, fo)
         ]
 
+    def check_condensed(
+        self, e_condensed, o_condensed, comm=None
+    ) -> CheckResult:
+        """:meth:`check` over pre-condensed sides (see :func:`condense_side`)."""
+        fe = self.fingerprints_condensed(e_condensed)
+        fo = self.fingerprints_condensed(o_condensed)
+        lambdas = [
+            [a - b for a, b in zip(row_e, row_o)]
+            for row_e, row_o in zip(fe, fo)
+        ]
+        return self._settle(lambdas, comm)
+
     def check(self, e_side, o_side, comm=None) -> CheckResult:
         """Accept iff every seed's every λ is zero; one collective if SPMD."""
         lambdas = self.lambda_values(e_side, o_side)
+        return self._settle(lambdas, comm)
+
+    def _settle(self, lambdas: list[list[int]], comm) -> CheckResult:
         if comm is not None:
             # All T·iterations partial sums travel in a single all-reduction.
             lambdas = comm.allreduce(
@@ -376,3 +571,45 @@ class MultiSeedHashSumChecker:
                 "per_seed_accepted": per_seed,
             },
         )
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers (multi-seed forms of the sum_checker module's)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_CONFIG = SumCheckConfig(iterations=8, d=16, rhat=1 << 15)
+
+
+def check_sum_aggregation_multiseed(
+    input_kv,
+    asserted_kv,
+    seeds,
+    config: SumCheckConfig | None = None,
+    comm=None,
+    operator: str = "+",
+) -> CheckResult:
+    """Check a sum aggregation under ``T`` root seeds in one data pass.
+
+    Per-seed verdicts (``details["per_seed_accepted"]``) equal ``T``
+    independent :func:`~repro.core.sum_checker.check_sum_aggregation`
+    calls; accepted iff every seed accepts (failure probability δ^T).
+    """
+    checker = MultiSeedSumChecker(config or _DEFAULT_CONFIG, seeds, operator)
+    if comm is None:
+        return checker.check_local(input_kv, asserted_kv)
+    return checker.check_distributed(comm, input_kv, asserted_kv)
+
+
+def check_count_aggregation_multiseed(
+    input_keys,
+    asserted_kv,
+    seeds,
+    config: SumCheckConfig | None = None,
+    comm=None,
+) -> CheckResult:
+    """Count aggregation = sum aggregation of ones (§4), under ``T`` seeds."""
+    keys = np.asarray(input_keys)
+    ones = np.ones(keys.shape, dtype=np.int64)
+    return check_sum_aggregation_multiseed(
+        (keys, ones), asserted_kv, seeds, config=config, comm=comm
+    )

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.base import CheckResult
 from repro.core.params import SumCheckConfig
-from repro.core.sort_checker import check_sort
+from repro.core.sort_checker import check_globally_sorted, check_sort
 from repro.core.sum_checker import check_sum_aggregation
 from repro.core.union_checker import check_union
 from repro.core.merge_checker import check_merge
@@ -31,6 +31,15 @@ from repro.core.zip_checker import check_zip
 from repro.core.groupby_checker import (
     check_groupby_redistribution,
     default_partitioner,
+)
+from repro.dataflow.pipeline import (
+    AdaptiveCheckPolicy,
+    adaptive_groupby_check,
+    adaptive_permutation_check,
+    adaptive_sort_check,
+    adaptive_sum_check,
+    adaptive_zip_check,
+    hashsum_only_kwargs,
 )
 from repro.dataflow.ops.group_by_key import group_by_key
 from repro.dataflow.ops.map_filter import filter_elements, map_elements, map_pairs
@@ -81,36 +90,89 @@ class DIA:
     def sort(self) -> "DIA":
         return DIA(self.comm, sample_sort(self.comm, self.local))
 
-    def sort_checked(self, seed: int = 0, **kwargs) -> tuple["DIA", CheckResult]:
-        """Sort + Theorem 7 checker; returns (sorted DIA, verdict)."""
+    def sort_checked(
+        self,
+        seed: int = 0,
+        policy: AdaptiveCheckPolicy | None = None,
+        **kwargs,
+    ) -> tuple["DIA", CheckResult]:
+        """Sort + Theorem 7 checker; returns (sorted DIA, verdict).
+
+        With a ``policy`` the permutation fingerprint runs 1 seed inline
+        and escalates per the policy over the condensed element counts
+        (the sortedness half is deterministic and runs once).
+        """
         out = sample_sort(self.comm, self.local)
-        verdict = check_sort(self.local, out, seed=seed, comm=self.comm, **kwargs)
+        if policy is not None:
+            verdict = adaptive_sort_check(
+                self.local, out, seed=seed, policy=policy, comm=self.comm,
+                **kwargs,
+            )
+        else:
+            verdict = check_sort(
+                self.local, out, seed=seed, comm=self.comm, **kwargs
+            )
         return DIA(self.comm, out), verdict
 
     def union(self, other: "DIA") -> "DIA":
         return DIA(self.comm, union_arrays(self.comm, self.local, other.local))
 
     def union_checked(
-        self, other: "DIA", seed: int = 0, **kwargs
+        self,
+        other: "DIA",
+        seed: int = 0,
+        policy: AdaptiveCheckPolicy | None = None,
+        **kwargs,
     ) -> tuple["DIA", CheckResult]:
-        """Union + Corollary 12 checker."""
+        """Union + Corollary 12 checker (adaptive when ``policy`` given)."""
         out = union_arrays(self.comm, self.local, other.local)
-        verdict = check_union(
-            self.local, other.local, out, seed=seed, comm=self.comm, **kwargs
-        )
+        if policy is not None:
+            verdict = adaptive_permutation_check(
+                [self.local, other.local],
+                out,
+                seed=seed,
+                policy=policy,
+                comm=self.comm,
+                checker="union-adaptive",
+                **hashsum_only_kwargs(kwargs),
+            )
+        else:
+            verdict = check_union(
+                self.local, other.local, out, seed=seed, comm=self.comm,
+                **kwargs,
+            )
         return DIA(self.comm, out), verdict
 
     def merge(self, other: "DIA") -> "DIA":
         return DIA(self.comm, merge_sorted(self.comm, self.local, other.local))
 
     def merge_checked(
-        self, other: "DIA", seed: int = 0, **kwargs
+        self,
+        other: "DIA",
+        seed: int = 0,
+        policy: AdaptiveCheckPolicy | None = None,
+        **kwargs,
     ) -> tuple["DIA", CheckResult]:
-        """Merge + Corollary 13 checker."""
+        """Merge + Corollary 13 checker (adaptive when ``policy`` given)."""
         out = merge_sorted(self.comm, self.local, other.local)
-        verdict = check_merge(
-            self.local, other.local, out, seed=seed, comm=self.comm, **kwargs
-        )
+        if policy is not None:
+            sortedness = check_globally_sorted(out, comm=self.comm)
+            verdict = adaptive_permutation_check(
+                [self.local, other.local],
+                out,
+                seed=seed,
+                policy=policy,
+                comm=self.comm,
+                extra_ok=sortedness.accepted,
+                extra_details={"sorted": sortedness.accepted},
+                checker="merge-adaptive",
+                **hashsum_only_kwargs(kwargs),
+            )
+        else:
+            verdict = check_merge(
+                self.local, other.local, out, seed=seed, comm=self.comm,
+                **kwargs,
+            )
         return DIA(self.comm, out), verdict
 
     def zip(self, other: "DIA") -> "KeyValueDIA":
@@ -118,19 +180,35 @@ class DIA:
         return KeyValueDIA(self.comm, first, second)
 
     def zip_checked(
-        self, other: "DIA", seed: int = 0, iterations: int = 2
+        self,
+        other: "DIA",
+        seed: int = 0,
+        iterations: int = 2,
+        policy: AdaptiveCheckPolicy | None = None,
     ) -> tuple["KeyValueDIA", CheckResult]:
-        """Zip + Theorem 11 checker."""
+        """Zip + Theorem 11 checker (adaptive when ``policy`` given)."""
         first, second = zip_arrays(self.comm, self.local, other.local)
-        verdict = check_zip(
-            self.local,
-            other.local,
-            first,
-            second,
-            iterations=iterations,
-            seed=seed,
-            comm=self.comm,
-        )
+        if policy is not None:
+            verdict = adaptive_zip_check(
+                self.local,
+                other.local,
+                first,
+                second,
+                seed=seed,
+                policy=policy,
+                comm=self.comm,
+                iterations=iterations,
+            )
+        else:
+            verdict = check_zip(
+                self.local,
+                other.local,
+                first,
+                second,
+                iterations=iterations,
+                seed=seed,
+                comm=self.comm,
+            )
         return KeyValueDIA(self.comm, first, second), verdict
 
     def with_values(self, values) -> "KeyValueDIA":
@@ -177,16 +255,32 @@ class KeyValueDIA:
         config: SumCheckConfig | None = None,
         seed: int = 0,
         partitioner=None,
+        policy: AdaptiveCheckPolicy | None = None,
     ) -> tuple["KeyValueDIA", CheckResult]:
-        """ReduceByKey + Theorem 1 checker."""
+        """ReduceByKey + Theorem 1 checker.
+
+        With a ``policy`` the check runs 1 seed inline and escalates to the
+        policy's ``T`` seeds on its trigger, reusing the condensed
+        unique-key aggregates (no second pass over the pairs).
+        """
         k, v = reduce_by_key(self.comm, self.keys, self.values, partitioner)
-        verdict = check_sum_aggregation(
-            (self.keys, self.values),
-            (k, v),
-            config or _DEFAULT_CONFIG,
-            seed=seed,
-            comm=self.comm,
-        )
+        if policy is not None:
+            verdict = adaptive_sum_check(
+                (self.keys, self.values),
+                (k, v),
+                config or _DEFAULT_CONFIG,
+                seed=seed,
+                policy=policy,
+                comm=self.comm,
+            )
+        else:
+            verdict = check_sum_aggregation(
+                (self.keys, self.values),
+                (k, v),
+                config or _DEFAULT_CONFIG,
+                seed=seed,
+                comm=self.comm,
+            )
         return KeyValueDIA(self.comm, k, v), verdict
 
     def group_by_key(self, partitioner=None):
@@ -194,9 +288,18 @@ class KeyValueDIA:
         return group_by_key(self.comm, self.keys, self.values, partitioner)
 
     def group_by_key_checked(
-        self, seed: int = 0, partitioner=None, **kwargs
+        self,
+        seed: int = 0,
+        partitioner=None,
+        policy: AdaptiveCheckPolicy | None = None,
+        **kwargs,
     ) -> tuple[tuple, CheckResult]:
-        """GroupByKey + Corollary 14 (invasive redistribution) checker."""
+        """GroupByKey + Corollary 14 (invasive redistribution) checker.
+
+        With a ``policy``, records are encoded once, the placement test
+        (deterministic) runs once, and the permutation fingerprint
+        escalates adaptively over the shared record condensation.
+        """
         if partitioner is None:
             size = self.comm.size if self.comm is not None else 1
             partitioner = default_partitioner(size)
@@ -207,14 +310,25 @@ class KeyValueDIA:
             partitioner=partitioner,
             return_exchange=True,
         )
-        verdict = check_groupby_redistribution(
-            (self.keys, self.values),
-            post,
-            partitioner,
-            comm=self.comm,
-            seed=seed,
-            **kwargs,
-        )
+        if policy is not None:
+            verdict = adaptive_groupby_check(
+                (self.keys, self.values),
+                post,
+                partitioner,
+                seed=seed,
+                policy=policy,
+                comm=self.comm,
+                **kwargs,
+            )
+        else:
+            verdict = check_groupby_redistribution(
+                (self.keys, self.values),
+                post,
+                partitioner,
+                comm=self.comm,
+                seed=seed,
+                **kwargs,
+            )
         return (uk, groups), verdict
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -15,16 +15,26 @@ def global_offset(comm, local_count: int) -> int:
 def exchange_by_destination(comm, destinations: np.ndarray, *columns):
     """Route each row to the PE named by ``destinations`` (all-to-all).
 
-    ``columns`` are aligned arrays; returns the received columns, rows
-    concatenated in source-PE order (stable within a source).  Sequential
-    (``comm is None``) requires every destination to be 0 and is an
-    identity.
+    ``columns`` are aligned arrays (anything ``np.asarray`` accepts);
+    returns the received columns, rows concatenated in source-PE order
+    (stable within a source).  Sequential (``comm is None``) requires every
+    destination to be 0 and is an identity.
     """
     destinations = np.asarray(destinations, dtype=np.int64)
+    # Coerce columns up front: a Python-list column used to work
+    # sequentially but crash on the distributed path (lists don't support
+    # fancy indexing), and a misaligned column would silently drop rows.
+    columns = tuple(np.asarray(c) for c in columns)
+    for i, col in enumerate(columns):
+        if col.shape[:1] != destinations.shape:
+            raise ValueError(
+                f"column {i} has {col.shape[0] if col.ndim else 'scalar'} "
+                f"rows but {destinations.size} destinations"
+            )
     if comm is None:
         if destinations.size and (destinations != 0).any():
             raise ValueError("sequential exchange cannot route to other PEs")
-        return tuple(np.array(c, copy=True) for c in columns)
+        return tuple(c.copy() for c in columns)
     p = comm.size
     if destinations.size and (
         destinations.min() < 0 or destinations.max() >= p
@@ -42,8 +52,6 @@ def exchange_by_destination(comm, destinations: np.ndarray, *columns):
     for col_idx, col in enumerate(columns):
         parts = [received[src][col_idx] for src in range(p)]
         out.append(
-            np.concatenate(parts)
-            if parts
-            else np.zeros(0, dtype=np.asarray(col).dtype)
+            np.concatenate(parts) if parts else np.zeros(0, dtype=col.dtype)
         )
     return tuple(out)

@@ -5,6 +5,13 @@ Behavior"): elements are forwarded to the checker as they are passed to the
 operation, so the measured cost is the whole reduce-check pipeline.  A
 manipulator may be planted inside the black box to exercise the failure
 path (the experiment harness does exactly that).
+
+:class:`AdaptiveCheckPolicy` adds the "verify cheaply first, escalate on
+suspicion" layer: every checked operation runs ONE seed inline and
+re-checks under ``T`` escalation seeds only when the primary verdict fails
+(or unconditionally, for a hardened δ^T run).  Escalation reuses the
+condensed unique-key aggregates the primary check already built, so it
+never takes a second pass over the raw data.
 """
 
 from __future__ import annotations
@@ -15,29 +22,421 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import CheckResult
+from repro.core.multiseed import (
+    CondensedKV,
+    MultiSeedHashSumChecker,
+    MultiSeedSumChecker,
+    condense_kv,
+    condense_side,
+)
+from repro.core.groupby_checker import encode_records
 from repro.core.params import SumCheckConfig
-from repro.core.sort_checker import check_sort
+from repro.core.sort_checker import check_globally_sorted, check_sort
 from repro.core.sum_checker import SumAggregationChecker
 from repro.dataflow.ops.reduce_by_key import reduce_by_key
 from repro.dataflow.ops.sort import sample_sort
+from repro.util.rng import derive_seed, derive_seed_array
 
 
 @dataclass
 class CheckedRunStats:
-    """Timing split of a checked run (for the Fig 4 overhead ratio)."""
+    """Timing split of a checked run (for the Fig 4 overhead ratio).
+
+    ``checker_seconds`` covers the primary (1-seed) check;
+    ``escalation_seconds`` the multi-seed re-check when an
+    :class:`AdaptiveCheckPolicy` triggered one.
+    """
 
     operation_seconds: float
     checker_seconds: float
+    escalated: bool = False
+    escalation_seconds: float = 0.0
+    escalation_seeds: int = 0
 
     @property
     def total_seconds(self) -> float:
-        return self.operation_seconds + self.checker_seconds
+        return (
+            self.operation_seconds
+            + self.checker_seconds
+            + self.escalation_seconds
+        )
 
     @property
     def overhead_ratio(self) -> float:
         if self.operation_seconds == 0.0:
-            return 1.0
+            # A zero-duration operation with real checker work is *all*
+            # overhead; reporting 1.0 here made zero-duration micro-runs
+            # claim "no overhead".  1.0 is only right when nothing at all
+            # was measured.
+            if self.checker_seconds + self.escalation_seconds == 0.0:
+                return 1.0
+            return float("inf")
         return self.total_seconds / self.operation_seconds
+
+
+@dataclass
+class AdaptiveCheckPolicy:
+    """Escalation policy: 1 seed inline, ``T`` seeds on suspicion.
+
+    The checkers have one-sided error: a rejection *proves* the result (or
+    the checker's own wire traffic) is corrupt, so before paying for a
+    re-execution the pipeline confirms the verdict under ``T`` fresh seeds
+    — at condensed-aggregate cost, not another data pass.  Modes:
+
+    * ``"reject"`` (default) — escalate only when the primary verdict
+      rejects; the per-seed flags tell a true data error (every seed
+      rejects, failure probability of a wrong confirmation δ^T) from a
+      checker-side glitch.
+    * ``"always"`` — hardened mode: every check runs all escalation seeds
+      (δ^T on every accept) while still condensing the data once.
+    * ``"never"`` — adaptive bookkeeping without any escalation.
+
+    ``escalation_seeds`` is either a count (seeds derive from the primary
+    seed) or an explicit array of root seeds.
+    """
+
+    escalation_seeds: int | np.ndarray = 8
+    escalate_on: str = "reject"
+
+    def __post_init__(self):
+        if self.escalate_on not in ("reject", "always", "never"):
+            raise ValueError(
+                f"escalate_on must be 'reject', 'always' or 'never', "
+                f"got {self.escalate_on!r}"
+            )
+        if isinstance(self.escalation_seeds, (int, np.integer)):
+            if self.escalation_seeds < 1:
+                raise ValueError(
+                    f"need at least 1 escalation seed, "
+                    f"got {self.escalation_seeds}"
+                )
+        elif np.asarray(self.escalation_seeds).size < 1:
+            raise ValueError("escalation seed array must be non-empty")
+
+    def resolve_seeds(self, primary_seed: int) -> np.ndarray:
+        """The escalation root seeds (derived when given as a count)."""
+        if isinstance(self.escalation_seeds, (int, np.integer)):
+            return derive_seed_array(
+                primary_seed,
+                "adaptive-escalation",
+                np.arange(int(self.escalation_seeds), dtype=np.uint64),
+            )
+        return np.asarray(self.escalation_seeds)
+
+    def should_escalate(self, primary_accepted: bool) -> bool:
+        if self.escalate_on == "always":
+            return True
+        return self.escalate_on == "reject" and not primary_accepted
+
+
+def _adaptive_details(
+    policy: AdaptiveCheckPolicy,
+    primary_accepted: bool,
+    escalated: bool,
+    per_seed: list[bool] | None,
+    num_seeds: int,
+    escalation_seconds: float,
+) -> dict:
+    return {
+        "primary_accepted": bool(primary_accepted),
+        "adaptive": {
+            "escalated": escalated,
+            "escalate_on": policy.escalate_on,
+            "num_escalation_seeds": num_seeds,
+            "per_seed_accepted": per_seed,
+            "escalation_seconds": escalation_seconds,
+        },
+    }
+
+
+def adaptive_sum_check(
+    input_side,
+    asserted_side,
+    config: SumCheckConfig,
+    seed: int = 0,
+    policy: AdaptiveCheckPolicy | None = None,
+    comm=None,
+    operator: str = "+",
+) -> CheckResult:
+    """Theorem 1 check with 1-seed primary and policy-driven escalation.
+
+    ``input_side`` / ``asserted_side`` are ``(keys, values)`` pairs or
+    already-built :class:`~repro.core.multiseed.CondensedKV` objects; both
+    sides are condensed exactly once, and the escalation evaluates its
+    ``T`` seed lanes against the *same* aggregates — no second pass over
+    raw data.  The primary verdict (and each escalation seed's verdict) is
+    identical to a fresh single-seed checker under that seed; the primary
+    verdict is globally agreed before the escalation decision, so all PEs
+    escalate together.
+    """
+    policy = policy or AdaptiveCheckPolicy()
+    cin = (
+        input_side
+        if isinstance(input_side, CondensedKV)
+        else condense_kv(*input_side, operator)
+    )
+    cout = (
+        asserted_side
+        if isinstance(asserted_side, CondensedKV)
+        else condense_kv(*asserted_side, operator)
+    )
+    primary = MultiSeedSumChecker(config, [seed], operator)
+    diff = primary.difference(
+        primary.local_tables_condensed(cin),
+        primary.local_tables_condensed(cout),
+    )
+    primary_ok = primary.per_seed_verdicts(diff, comm)[0]
+
+    roots = policy.resolve_seeds(seed)
+    escalated = policy.should_escalate(primary_ok)
+    per_seed = None
+    escalation_seconds = 0.0
+    if escalated:
+        t0 = time.perf_counter()
+        esc = MultiSeedSumChecker(config, roots, operator)
+        esc_diff = esc.difference(
+            esc.local_tables_condensed(cin),
+            esc.local_tables_condensed(cout),
+        )
+        per_seed = esc.per_seed_verdicts(esc_diff, comm)
+        escalation_seconds = time.perf_counter() - t0
+    accepted = primary_ok and (per_seed is None or all(per_seed))
+    return CheckResult(
+        accepted=bool(accepted),
+        checker="sum-aggregation-adaptive",
+        details={
+            "config": config.label(),
+            "operator": operator,
+            **_adaptive_details(
+                policy,
+                primary_ok,
+                escalated,
+                per_seed,
+                int(roots.size),
+                escalation_seconds,
+            ),
+        },
+    )
+
+
+def adaptive_permutation_check(
+    e_side,
+    o_side,
+    seed: int = 0,
+    policy: AdaptiveCheckPolicy | None = None,
+    comm=None,
+    iterations: int = 2,
+    hash_family: str = "Mix",
+    log_h: int = 32,
+    extra_ok: bool = True,
+    extra_details: dict | None = None,
+    checker: str = "permutation-adaptive",
+    seed_path: tuple = (),
+) -> CheckResult:
+    """Hash-sum permutation check with policy-driven escalation.
+
+    Both sides are condensed to (uniques, counts) once; primary and
+    escalation lanes run over those condensations.  ``extra_ok`` folds in
+    a deterministic companion verdict (sortedness, placement) that is
+    seed-free and therefore computed once by the caller; ``seed_path``
+    maps root seeds to the underlying checker's fingerprint seeds (e.g.
+    ``("groupby-perm",)``), keeping per-seed verdicts identical to fresh
+    single-seed checks.
+    """
+    policy = policy or AdaptiveCheckPolicy()
+    e_c = condense_side(e_side)
+    o_c = condense_side(o_side)
+    primary_seed = derive_seed(seed, *seed_path) if seed_path else seed
+    primary = MultiSeedHashSumChecker(
+        [primary_seed], iterations, hash_family, log_h
+    ).check_condensed(e_c, o_c, comm)
+    primary_ok = primary.accepted and bool(extra_ok)
+
+    roots = policy.resolve_seeds(seed)
+    # Escalation keys on the *seeded* fingerprint verdict alone: a failed
+    # deterministic companion (sortedness, placement) is exact and needs
+    # no multi-seed confirmation, so re-hashing T lanes for it would be
+    # pure waste.  per_seed likewise reports the fingerprint lanes only —
+    # the deterministic verdict lives in extra_details / primary_accepted.
+    escalated = policy.should_escalate(primary.accepted)
+    per_seed = None
+    escalation_seconds = 0.0
+    if escalated:
+        t0 = time.perf_counter()
+        esc_seeds = (
+            derive_seed_array(roots, *seed_path) if seed_path else roots
+        )
+        esc = MultiSeedHashSumChecker(
+            esc_seeds, iterations, hash_family, log_h
+        ).check_condensed(e_c, o_c, comm)
+        per_seed = esc.details["per_seed_accepted"]
+        escalation_seconds = time.perf_counter() - t0
+    accepted = primary_ok and (per_seed is None or all(per_seed))
+    return CheckResult(
+        accepted=bool(accepted),
+        checker=checker,
+        details={
+            **(extra_details or {}),
+            "iterations": iterations,
+            "hash_family": hash_family,
+            "log_h": log_h,
+            **_adaptive_details(
+                policy,
+                primary_ok,
+                escalated,
+                per_seed,
+                int(roots.size),
+                escalation_seconds,
+            ),
+        },
+    )
+
+
+def hashsum_only_kwargs(kwargs: dict) -> dict:
+    """Validate ``check_sort``/``check_union``-style kwargs for adaptive use.
+
+    The multi-seed machinery exists only for the hash-sum fingerprint, so
+    the adaptive paths accept ``method="hashsum"`` at most and none of the
+    polynomial/GF(2^64) knobs — rejected here with a pointed error instead
+    of a ``TypeError`` from an inner signature.
+    """
+    kwargs = dict(kwargs)
+    method = kwargs.pop("method", "hashsum")
+    if method != "hashsum":
+        raise ValueError(
+            "adaptive checking supports only the hash-sum fingerprint "
+            f"(method='hashsum'), got method={method!r}"
+        )
+    unsupported = set(kwargs) - {"iterations", "hash_family", "log_h"}
+    if unsupported:
+        raise ValueError(
+            "adaptive checking does not support "
+            f"{sorted(unsupported)} (hash-sum fingerprint only)"
+        )
+    return kwargs
+
+
+def adaptive_sort_check(
+    e_values,
+    o_values,
+    seed: int = 0,
+    policy: AdaptiveCheckPolicy | None = None,
+    comm=None,
+    **kwargs,
+) -> CheckResult:
+    """Theorem 7 with adaptive escalation.
+
+    Global sortedness is deterministic and runs once; the permutation
+    fingerprint escalates per the policy over the condensed element
+    counts.  Shared by :func:`checked_sort` and ``DIA.sort_checked``.
+    """
+    sortedness = check_globally_sorted(o_values, comm=comm)
+    return adaptive_permutation_check(
+        e_values,
+        o_values,
+        seed=seed,
+        policy=policy,
+        comm=comm,
+        extra_ok=sortedness.accepted,
+        extra_details={"sorted": sortedness.accepted, "method": "hashsum"},
+        checker="sort-adaptive",
+        **hashsum_only_kwargs(kwargs),
+    )
+
+
+def adaptive_groupby_check(
+    pre_kv,
+    post_kv,
+    partitioner,
+    seed: int = 0,
+    policy: AdaptiveCheckPolicy | None = None,
+    comm=None,
+    **kwargs,
+) -> CheckResult:
+    """Corollary 14 with adaptive escalation.
+
+    Records are encoded once, the placement test (deterministic) runs
+    once, and the permutation fingerprint escalates over the shared
+    record condensation — the adaptive sibling of
+    :func:`~repro.core.groupby_checker.check_groupby_redistribution` and
+    its multi-seed variant, sharing their ``"groupby-perm"`` seed tree.
+    """
+    rank = comm.rank if comm is not None else 0
+    post_keys = np.asarray(post_kv[0])
+    placement_ok = bool(np.all(partitioner(post_keys) == rank))
+    if comm is not None:
+        placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+    return adaptive_permutation_check(
+        encode_records(*pre_kv),
+        encode_records(*post_kv),
+        seed=seed,
+        policy=policy,
+        comm=comm,
+        extra_ok=placement_ok,
+        extra_details={"placement_ok": placement_ok, "invasive": True},
+        checker="groupby-redistribution-adaptive",
+        seed_path=("groupby-perm",),
+        **hashsum_only_kwargs(kwargs),
+    )
+
+
+def adaptive_zip_check(
+    s1,
+    s2,
+    zipped_first,
+    zipped_second,
+    seed: int = 0,
+    policy: AdaptiveCheckPolicy | None = None,
+    comm=None,
+    iterations: int = 2,
+) -> CheckResult:
+    """Theorem 11 check with policy-driven escalation.
+
+    The zip fingerprint is *positional* (order-sensitive inner products),
+    so unlike the sum/permutation checkers it admits no unique-key
+    condensation: each escalation seed costs a fresh fingerprint pass.
+    That is exactly why it sits behind the adaptive policy — the ``T``-pass
+    price is paid only on a suspicious verdict, never inline.
+    """
+    from repro.core.zip_checker import check_zip
+
+    policy = policy or AdaptiveCheckPolicy()
+    primary = check_zip(
+        s1, s2, zipped_first, zipped_second,
+        iterations=iterations, seed=seed, comm=comm,
+    )
+    primary_ok = primary.accepted
+
+    roots = policy.resolve_seeds(seed)
+    escalated = policy.should_escalate(primary_ok)
+    per_seed = None
+    escalation_seconds = 0.0
+    if escalated:
+        t0 = time.perf_counter()
+        per_seed = [
+            check_zip(
+                s1, s2, zipped_first, zipped_second,
+                iterations=iterations, seed=int(s), comm=comm,
+            ).accepted
+            for s in roots
+        ]
+        escalation_seconds = time.perf_counter() - t0
+    accepted = primary_ok and (per_seed is None or all(per_seed))
+    return CheckResult(
+        accepted=bool(accepted),
+        checker="zip-adaptive",
+        details={
+            "iterations": iterations,
+            **_adaptive_details(
+                policy,
+                primary_ok,
+                escalated,
+                per_seed,
+                int(roots.size),
+                escalation_seconds,
+            ),
+        },
+    )
 
 
 def checked_reduce_by_key(
@@ -49,14 +448,51 @@ def checked_reduce_by_key(
     partitioner=None,
     manipulator=None,
     manipulator_rng=None,
+    policy: AdaptiveCheckPolicy | None = None,
 ):
     """ReduceByKey + §4 checker in one pipeline.
 
     Returns ``(result_keys, result_values, CheckResult, CheckedRunStats)``.
     With a ``manipulator`` the fault is injected *inside* the black box (the
     checker still sees the original input), emulating a silent error in the
-    reduction.
+    reduction.  With a ``policy`` the check is adaptive: the input is
+    condensed once as it streams into the operation, a single seed settles
+    inline, and escalation (on the policy's trigger) re-checks ``T`` seeds
+    against the same condensed aggregates — no second pass over the data.
     """
+    if policy is not None:
+        t0 = time.perf_counter()
+        cin = condense_kv(keys, values)  # checker taps the input stream
+        t1 = time.perf_counter()
+        op_keys, op_values = keys, values
+        if manipulator is not None:
+            rng = manipulator_rng or np.random.default_rng(seed)
+            manipulated = manipulator.apply(rng, keys, values)
+            op_keys, op_values = manipulated.keys, manipulated.values
+        out_keys, out_values = reduce_by_key(
+            comm, op_keys, op_values, partitioner
+        )
+        t2 = time.perf_counter()
+        result = adaptive_sum_check(
+            cin, (out_keys, out_values), config, seed, policy, comm
+        )
+        t3 = time.perf_counter()
+        adaptive = result.details["adaptive"]
+        stats = CheckedRunStats(
+            operation_seconds=t2 - t1,
+            checker_seconds=(t1 - t0)
+            + (t3 - t2)
+            - adaptive["escalation_seconds"],
+            escalated=adaptive["escalated"],
+            escalation_seconds=adaptive["escalation_seconds"],
+            escalation_seeds=(
+                adaptive["num_escalation_seeds"]
+                if adaptive["escalated"]
+                else 0
+            ),
+        )
+        return out_keys, out_values, result, stats
+
     checker = SumAggregationChecker(config, seed)
 
     t0 = time.perf_counter()
@@ -110,10 +546,13 @@ def checked_sort(
     seed: int = 0,
     manipulator=None,
     manipulator_rng=None,
+    policy: AdaptiveCheckPolicy | None = None,
 ):
     """Sample sort + Theorem 7 checker in one pipeline.
 
-    Returns ``(sorted_local, CheckResult, CheckedRunStats)``.
+    Returns ``(sorted_local, CheckResult, CheckedRunStats)``.  With a
+    ``policy``, the permutation fingerprint escalates adaptively (the
+    sortedness half of Theorem 7 is deterministic and runs once).
     """
     t0 = time.perf_counter()
     op_input = values
@@ -122,18 +561,44 @@ def checked_sort(
         op_input = manipulator.apply(rng, values).sequence
     out = sample_sort(comm, op_input)
     t1 = time.perf_counter()
-    result = check_sort(
-        values,
-        out,
-        iterations=iterations,
-        hash_family=hash_family,
-        log_h=log_h,
-        seed=seed,
-        comm=comm,
-    )
+    if policy is not None:
+        result = adaptive_sort_check(
+            values,
+            out,
+            seed=seed,
+            policy=policy,
+            comm=comm,
+            iterations=iterations,
+            hash_family=hash_family,
+            log_h=log_h,
+        )
+    else:
+        result = check_sort(
+            values,
+            out,
+            iterations=iterations,
+            hash_family=hash_family,
+            log_h=log_h,
+            seed=seed,
+            comm=comm,
+        )
     t2 = time.perf_counter()
+    escalation = (
+        result.details["adaptive"]
+        if policy is not None
+        else {"escalated": False, "escalation_seconds": 0.0,
+              "num_escalation_seeds": 0}
+    )
     stats = CheckedRunStats(
-        operation_seconds=t1 - t0, checker_seconds=t2 - t1
+        operation_seconds=t1 - t0,
+        checker_seconds=(t2 - t1) - escalation["escalation_seconds"],
+        escalated=escalation["escalated"],
+        escalation_seconds=escalation["escalation_seconds"],
+        escalation_seeds=(
+            escalation["num_escalation_seeds"]
+            if escalation["escalated"]
+            else 0
+        ),
     )
     return out, result, stats
 

@@ -23,14 +23,16 @@ import numpy as np
 
 from repro.comm.context import Context
 from repro.comm.cost import CostModel
+from repro.core.multiseed import MultiSeedSumChecker
 from repro.core.params import SumCheckConfig
 from repro.core.sum_checker import SumAggregationChecker
 from repro.dataflow.ops.reduce_by_key import local_aggregate, reduce_by_key
 from repro.experiments.overhead import (
+    multiseed_sum_overhead_ns,
     reduce_baseline_ns,
     sum_checker_overhead_ns,
 )
-from repro.util.rng import derive_seed
+from repro.util.rng import derive_seed, derive_seed_array
 from repro.workloads.kv import sum_workload
 
 
@@ -49,17 +51,24 @@ class ScalingPoint:
         return self.time_with / self.time_without
 
 
-def _run_reduction(ctx: Context, key_chunks, val_chunks, checker_cfg, seed):
+def _run_reduction(
+    ctx: Context, key_chunks, val_chunks, checker_cfg, seed, num_seeds=1
+):
     """One weak-scaling run; returns max wall time over PEs."""
 
     def program(comm, keys, values):
         # Checker construction (hash tables, moduli) happens once per job in
         # Thrill too — keep it outside the timed pipeline.
-        checker = (
-            SumAggregationChecker(checker_cfg, seed)
-            if checker_cfg is not None
-            else None
-        )
+        checker = None
+        if checker_cfg is not None and num_seeds > 1:
+            checker = MultiSeedSumChecker(
+                checker_cfg,
+                derive_seed_array(
+                    seed, "scaling", np.arange(num_seeds, dtype=np.uint64)
+                ),
+            )
+        elif checker_cfg is not None:
+            checker = SumAggregationChecker(checker_cfg, seed)
         t0 = time.perf_counter()
         if checker is not None:
             t_in = checker.local_tables(keys, values)
@@ -67,17 +76,22 @@ def _run_reduction(ctx: Context, key_chunks, val_chunks, checker_cfg, seed):
         if checker is not None:
             t_out = checker.local_tables(out_k, out_v)
             diff = checker.difference(t_in, t_out)
+            if num_seeds > 1:
+                # All seed lanes settle in the multi-seed checker's single
+                # packed collective.
+                verdict = all(checker.per_seed_verdicts(diff, comm))
+            else:
 
-            def wire_op(a, b):
-                return checker.pack(
-                    checker.combine(checker.unpack(a), checker.unpack(b))
-                )
+                def wire_op(a, b):
+                    return checker.pack(
+                        checker.combine(checker.unpack(a), checker.unpack(b))
+                    )
 
-            combined = comm.reduce(checker.pack(diff), wire_op, root=0)
-            verdict = None
-            if comm.rank == 0:
-                verdict = not np.any(checker.unpack(combined))
-            verdict = comm.bcast(verdict, root=0)
+                combined = comm.reduce(checker.pack(diff), wire_op, root=0)
+                verdict = None
+                if comm.rank == 0:
+                    verdict = not np.any(checker.unpack(combined))
+                verdict = comm.bcast(verdict, root=0)
             if not verdict:
                 raise AssertionError("checker rejected a correct reduction")
         return time.perf_counter() - t0
@@ -93,8 +107,13 @@ def measured_weak_scaling(
     repeats: int = 3,
     num_keys: int = 10**6,
     seed: int = 0,
+    num_seeds: int = 1,
 ) -> list[ScalingPoint]:
-    """Threaded weak-scaling measurement (real local work, real messages)."""
+    """Threaded weak-scaling measurement (real local work, real messages).
+
+    ``num_seeds > 1`` measures the multi-seed row: all ``T`` checkers run
+    through the batched one-pass kernel and settle in one collective.
+    """
     points = []
     for p in pes:
         ctx = Context(p)
@@ -114,7 +133,9 @@ def measured_weak_scaling(
             )
             best_with = min(
                 best_with,
-                _run_reduction(ctx, key_chunks, val_chunks, config, seed),
+                _run_reduction(
+                    ctx, key_chunks, val_chunks, config, seed, num_seeds
+                ),
             )
         points.append(ScalingPoint(p, best_without, best_with))
     return points
@@ -130,6 +151,7 @@ def modeled_weak_scaling(
     reduce_local_ns: float | None = None,
     measure_elements: int = 200_000,
     seed: int = 0,
+    num_seeds: int = 1,
 ) -> list[ScalingPoint]:
     """Fig 4 for the paper's p range via the §2 α–β model.
 
@@ -137,12 +159,26 @@ def modeled_weak_scaling(
     checker adds ``check_local·(n/p + k/p) + T_coll(table_bits, p)`` — the
     terms of §2 "Reduction" and Theorem 1.  Local per-element costs default
     to values measured on this machine.
+
+    ``num_seeds > 1`` models the δ^T multi-seed row: the local term uses
+    the *batched* multi-seed cost per element·seed (measured through
+    :class:`~repro.core.multiseed.MultiSeedSumChecker`, which shares one
+    data pass across seeds) and the collective carries all ``T`` packed
+    tables in one message.
     """
     cost = cost_model or CostModel()
     if check_local_ns is None:
-        check_local_ns = sum_checker_overhead_ns(
-            config, n_elements=measure_elements, seed=seed
-        ).ns_per_element
+        if num_seeds > 1:
+            check_local_ns = num_seeds * multiseed_sum_overhead_ns(
+                config,
+                num_seeds,
+                n_elements=measure_elements,
+                seed=seed,
+            ).ns_per_element
+        else:
+            check_local_ns = sum_checker_overhead_ns(
+                config, n_elements=measure_elements, seed=seed
+            ).ns_per_element
     if reduce_local_ns is None:
         reduce_local_ns = reduce_baseline_ns(
             n_elements=measure_elements, seed=seed
@@ -159,7 +195,7 @@ def modeled_weak_scaling(
             reduce_local_ns * 1e-9 * items_per_pe
             + cost.t_all_to_all(exchange_bytes, p)
         )
-        table_bytes = (config.table_bits + 7) // 8
+        table_bytes = (num_seeds * config.table_bits + 7) // 8
         t_check = (
             check_local_ns * 1e-9 * (items_per_pe + k // p)
             + cost.t_coll(table_bytes, p)

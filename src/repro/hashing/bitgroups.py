@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import HashFamily
+from repro.hashing.families import HashFamily, hash_lanes
 from repro.util.bits import ceil_log2, is_power_of_two
 from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
@@ -149,18 +149,81 @@ def iter_bucket_blocks(
     hash pass and yielded as ``(start, count, buckets)`` with ``buckets``
     of shape ``(iterations, count · len(keys))``; column ``c·len(keys)+i``
     is seed ``seeds[start+c]`` over ``keys[i]``.
+
+    Families whose hash is affine in the seed (CRC, via
+    :meth:`~repro.hashing.families.HashFamily.multiseed_hasher`) take a
+    fast path: the keys are hashed once with seed 0 and every lane is an
+    XOR constant away — bit-identical to the per-seed kernels.
     """
     seeds = np.asarray(seeds, dtype=np.uint64).ravel()
     keys = np.asarray(keys, dtype=np.uint64).ravel()
     k = keys.size
     per_block = max(1, chunk_elements // max(k, 1))
+    # CRC families expose their affinity structure (h_s(x) = h_0(x) ⊕ c(s)):
+    # the per-key table-lookup pass happens exactly once, here.  Bit-group
+    # extraction commutes with the seed XOR — ((h⊕c) >> g) & m equals
+    # ((h >> g) & m) ⊕ ((c >> g) & m) — so each of the len(seeds)·iterations
+    # lanes below is ONE vectorized XOR of a per-lane constant into the base
+    # groups.  Other families hash tiled key blocks per seed.
+    hasher = family.multiseed_hasher(keys)
+    prefix = derive_seed_array(seeds, "bucket")
+    if is_power_of_two(d):
+        group_bits = ceil_log2(d)
+        groups_per_eval = max(1, family.bits // group_bits)
+        num_evals = -(-iterations // groups_per_eval)
+        mask = np.uint64(d - 1)
+        base_groups = None
+        if hasher is not None:
+            base_groups = [
+                ((hasher.base >> np.uint64(g * group_bits)) & mask).astype(
+                    np.intp
+                )
+                for g in range(min(groups_per_eval, iterations))
+            ]
+    else:
+        group_bits = 0
+        groups_per_eval = 1
+        num_evals = iterations
     for start in range(0, seeds.size, per_block):
         count = min(per_block, seeds.size - start)
-        owner = np.repeat(np.arange(count, dtype=np.intp), k)
-        buckets = assign_buckets_batch(
-            family, d, iterations, seeds[start : start + count],
-            np.tile(keys, count), owner,
-        )
+        block_prefix = prefix[start : start + count]
+        buckets = np.empty((iterations, count * k), dtype=np.intp)
+        it = 0
+        for e in range(num_evals):
+            fn_seeds = splitmix64_array(block_prefix ^ np.uint64(e))
+            if hasher is None:
+                h = hash_lanes(family, fn_seeds, keys).reshape(count * k)
+            elif group_bits:
+                consts = hasher.constants(fn_seeds)  # (count,) uint64
+                for g in range(groups_per_eval):
+                    if it >= iterations:
+                        break
+                    lane_consts = (
+                        (consts >> np.uint64(g * group_bits)) & mask
+                    ).astype(np.intp)
+                    np.bitwise_xor(
+                        base_groups[g][None, :],
+                        lane_consts[:, None],
+                        out=buckets[it].reshape(count, k),
+                    )
+                    it += 1
+                continue
+            else:
+                h = (
+                    hasher.base[None, :]
+                    ^ hasher.constants(fn_seeds)[:, None]
+                ).reshape(count * k)
+            if group_bits:
+                for g in range(groups_per_eval):
+                    if it >= iterations:
+                        break
+                    buckets[it] = (
+                        (h >> np.uint64(g * group_bits)) & mask
+                    ).astype(np.intp)
+                    it += 1
+            else:
+                buckets[it] = (h % np.uint64(d)).astype(np.intp)
+                it += 1
         yield start, count, buckets
 
 

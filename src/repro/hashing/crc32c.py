@@ -67,6 +67,76 @@ def crc32c_u64(x: int, seed: int = 0) -> int:
     return crc32c_bytes(int(x).to_bytes(8, "little", signed=False), seed)
 
 
+def _zero_step_images() -> np.ndarray:
+    """Images of the 32 basis states under one zero-byte CRC step.
+
+    Folding a zero byte maps the state ``s ↦ (s >> 8) ^ T[s & 0xFF]`` — a
+    GF(2)-linear map (the table itself is linear: ``T[a^b] = T[a]^T[b]``),
+    so it is fully described by where it sends the 32 one-bit states.
+    """
+    basis = np.uint32(1) << np.arange(32, dtype=np.uint32)
+    return (basis >> np.uint32(8)) ^ _TABLE[basis & np.uint32(0xFF)]
+
+
+_ZERO_STEP_IMAGES = _zero_step_images()
+
+
+def _apply_linear(images: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Apply the GF(2)-linear map given by basis ``images`` to ``states``."""
+    out = np.zeros(states.shape, dtype=np.uint32)
+    one = np.uint32(1)
+    for bit in range(32):
+        picked = ((states >> np.uint32(bit)) & one).astype(bool)
+        out ^= np.where(picked, images[bit], np.uint32(0))
+    return out
+
+
+def crc32c_zero_advance(states, length: int) -> np.ndarray:
+    """CRC state after folding ``length`` zero bytes, vectorized over states.
+
+    This is the seed-dependent term of the affinity identity
+    ``crc(m, s) = crc(m, 0) ⊕ crc(0^|m|, s)``: the state map of a zero-byte
+    block is GF(2)-linear, so short blocks step byte-at-a-time and long
+    blocks raise the one-byte step matrix to the ``length``-th power by
+    squaring — O(log length) instead of O(length).
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    states = np.asarray(states, dtype=np.uint32)
+    if length == 0:
+        return states.copy()
+    if length <= 64:
+        crc = states.copy()
+        for _ in range(length):
+            crc = (crc >> np.uint32(8)) ^ _TABLE[crc & np.uint32(0xFF)]
+        return crc
+    step = _ZERO_STEP_IMAGES
+    result = None  # identity map; powers of one matrix commute freely
+    n = length
+    while n:
+        if n & 1:
+            result = step.copy() if result is None else _apply_linear(step, result)
+        n >>= 1
+        if n:
+            step = _apply_linear(step, step)
+    return _apply_linear(result, states)
+
+
+def crc32c_seed_constants(seeds, nbytes: int = 8) -> np.ndarray:
+    """The seed term of the CRC affinity identity, as uint64.
+
+    CRC-32C is GF(2)-linear in its initial state:
+    ``crc(x, s) = crc(x, 0) ⊕ z(s)`` with ``z(s) = crc(0^nbytes, s)``
+    depending only on the seed.  This computes ``z`` for an array of seeds
+    (any shape; only the low 32 bits of each seed matter, mirroring
+    :func:`crc32c_u64_array`) — the per-seed XOR constant that lets all
+    ``T`` CRC seed lanes of the multi-seed checkers share one table-lookup
+    pass over the keys.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64) & np.uint64(0xFFFFFFFF)
+    return crc32c_zero_advance(seeds, nbytes).astype(np.uint64)
+
+
 def crc32c_u64_array(
     keys: np.ndarray, seed=0, nbytes: int = 8
 ) -> np.ndarray:

@@ -18,7 +18,11 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.hashing.crc32c import crc32c_bytes, crc32c_u64_array
+from repro.hashing.crc32c import (
+    crc32c_bytes,
+    crc32c_seed_constants,
+    crc32c_u64_array,
+)
 from repro.hashing.mixers import (
     MultiplyShiftHash,
     SplitMixHash,
@@ -83,12 +87,21 @@ class HashFamily:
     the per-PE threads of :class:`repro.comm.context.Context`.
     """
 
-    def __init__(self, name: str, factory, bits: int, description: str, batch_kernel=None):
+    def __init__(
+        self,
+        name: str,
+        factory,
+        bits: int,
+        description: str,
+        batch_kernel=None,
+        multiseed_kernel=None,
+    ):
         self.name = name
         self._factory = factory
         self.bits = bits
         self.description = description
         self._batch_kernel = batch_kernel
+        self._multiseed_kernel = multiseed_kernel
         self._cache: OrderedDict[int, HashFunction] = OrderedDict()
         self._cache_lock = threading.Lock()
 
@@ -127,8 +140,65 @@ class HashFamily:
             out[pick] = self.instance(int(seeds[t])).hash_array(keys[pick])
         return out
 
+    def multiseed_hasher(self, keys: np.ndarray) -> "AffineHasher | None":
+        """Shared-pass lane evaluator over fixed ``keys``, or None.
+
+        When the family's hash is *affine in the seed* — CRC:
+        ``h_s(x) = h_0(x) ⊕ c(s)`` — this hashes the keys once and returns
+        an :class:`AffineHasher` from which every seed lane follows by a
+        single XOR constant.  Families without such structure return None
+        and callers fall back to :func:`hash_lanes`' tiled path.
+        """
+        if self._multiseed_kernel is None:
+            return None
+        return self._multiseed_kernel(np.asarray(keys, dtype=np.uint64))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HashFamily({self.name!r}, bits={self.bits})"
+
+
+class AffineHasher:
+    """Seed-affine hash over a fixed key array: ``h_s(x) = base(x) ⊕ c(s)``.
+
+    ``base`` is the (already computed) seed-0 hash of every key; ``c`` is
+    the per-seed constant.  Consumers exploit the structure directly —
+    e.g. the bit-group bucket assigner extracts groups from ``base`` once
+    and XORs each lane's constant group in, so a seed lane never touches
+    the key array again.
+    """
+
+    def __init__(self, base: np.ndarray, constants_fn):
+        self.base = base
+        self._constants_fn = constants_fn
+
+    def constants(self, seeds: np.ndarray) -> np.ndarray:
+        """Per-seed XOR constants ``c(seeds)`` (same shape as ``seeds``)."""
+        return self._constants_fn(seeds)
+
+    def lanes(self, seeds: np.ndarray) -> np.ndarray:
+        """Full lane tensor, shape ``seeds.shape + base.shape``."""
+        return self.constants(seeds)[..., None] ^ self.base
+
+
+def hash_lanes(
+    family: HashFamily, seeds: np.ndarray, keys: np.ndarray, hasher=None
+) -> np.ndarray:
+    """Lane matrix ``out[t] = instance(seeds[t]).hash_array(keys)``.
+
+    The multi-seed access pattern (every seed over the same key array).
+    With an :class:`AffineHasher` from :meth:`HashFamily.multiseed_hasher`
+    the per-key pass is already amortized across every call; otherwise the
+    keys are tiled through the family's batched kernel (one hash pass
+    covering all ``len(seeds) × len(keys)`` lane entries).
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    keys = np.asarray(keys, dtype=np.uint64).ravel()
+    if hasher is not None:
+        return hasher.lanes(seeds)
+    owner = np.repeat(np.arange(seeds.size, dtype=np.intp), keys.size)
+    return family.hash_array_batch(
+        seeds, owner, np.tile(keys, seeds.size)
+    ).reshape(seeds.size, keys.size)
 
 
 _REGISTRY: dict[str, HashFamily] = {}
@@ -142,6 +212,16 @@ def _register(family: HashFamily) -> HashFamily:
 def _crc_batch_kernel(nbytes: int):
     def kernel(seeds, owner, keys):
         return crc32c_u64_array(keys, seeds[owner], nbytes).astype(np.uint64)
+
+    return kernel
+
+
+def _crc_multiseed_kernel(nbytes: int):
+    def kernel(keys):
+        return AffineHasher(
+            crc32c_u64_array(keys, 0, nbytes).astype(np.uint64),
+            lambda seeds: crc32c_seed_constants(seeds, nbytes),
+        )
 
     return kernel
 
@@ -160,6 +240,7 @@ CRC_FAMILY = _register(
         32,
         "CRC-32C (Castagnoli), seeded initial state; limited randomness",
         batch_kernel=_crc_batch_kernel(8),
+        multiseed_kernel=_crc_multiseed_kernel(8),
     )
 )
 CRC4_FAMILY = _register(
@@ -169,6 +250,7 @@ CRC4_FAMILY = _register(
         32,
         "CRC-32C over 4-byte (32-bit) elements — the paper's stored width",
         batch_kernel=_crc_batch_kernel(4),
+        multiseed_kernel=_crc_multiseed_kernel(4),
     )
 )
 TAB_FAMILY = _register(

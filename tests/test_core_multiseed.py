@@ -367,6 +367,49 @@ class TestValidation:
         with pytest.raises(ValueError):
             multi.local_tables(keys, np.zeros(3, dtype=np.int64))
 
+    def test_rejects_duplicate_seeds(self):
+        # Duplicates silently weaken δ^T to δ^(distinct): refuse them.
+        with pytest.raises(ValueError, match="distinct"):
+            MultiSeedSumChecker(
+                SumCheckConfig.parse("4x8 m5"), np.array([3, 5, 3])
+            )
+        with pytest.raises(ValueError, match="distinct"):
+            MultiSeedHashSumChecker(np.array([7, 7], dtype=np.uint64))
+
+    def test_duplicate_detection_runs_after_sign_coercion(self):
+        # -1 (int64) and 2^64-1 (uint64) are the same seed after coercion;
+        # the signed form alone must still be accepted as distinct seeds.
+        cfg = SumCheckConfig.parse("4x8 m5")
+        with pytest.raises(ValueError, match="distinct"):
+            MultiSeedSumChecker(cfg, np.array([-1, -1], dtype=np.int64))
+        MultiSeedSumChecker(cfg, np.array([-1, 5], dtype=np.int64))  # ok
+
+    def test_rejects_2d_seed_array(self):
+        with pytest.raises(ValueError):
+            MultiSeedSumChecker(
+                SumCheckConfig.parse("4x8 m5"),
+                np.arange(4, dtype=np.uint64).reshape(2, 2),
+            )
+
+    def test_perm_empty_key_arrays(self):
+        multi = MultiSeedHashSumChecker(SEEDS, iterations=2, log_h=16)
+        empty = np.zeros(0, dtype=np.uint64)
+        assert multi.fingerprints(empty) == [[0, 0]] * SEEDS.size
+        result = multi.check(empty, empty)
+        assert result.accepted
+        assert result.details["per_seed_accepted"] == [True] * SEEDS.size
+
+    def test_sum_empty_vs_nonempty_rejects(self):
+        multi = MultiSeedSumChecker(SumCheckConfig.parse("8x16 m15"), SEEDS)
+        empty = (np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        nonempty = (
+            np.array([1], dtype=np.uint64),
+            np.array([5], dtype=np.int64),
+        )
+        result = multi.check_local(nonempty, empty)
+        assert not result.accepted
+        assert result.details["per_seed_accepted"] == [False] * SEEDS.size
+
     def test_signed_seed_array_coerced(self, workload):
         keys, values = workload[:2]
         cfg = SumCheckConfig.parse("4x8 m5")

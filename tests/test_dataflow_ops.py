@@ -65,6 +65,94 @@ class TestExchange:
         (out,) = exchange_by_destination(None, np.zeros(5, dtype=np.int64), keys)
         assert np.array_equal(out, keys)
 
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_empty_locals(self, p):
+        """PEs with nothing to send must still complete the collective."""
+        ctx = Context(p)
+
+        def run(comm):
+            k, v = exchange_by_destination(
+                comm,
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.uint64),
+                np.zeros(0, dtype=np.float64),
+            )
+            return k.dtype, k.size, v.dtype, v.size
+
+        outs = ctx.run(run)
+        assert outs == [(np.dtype(np.uint64), 0, np.dtype(np.float64), 0)] * p
+
+    def test_some_pes_empty(self):
+        ctx = Context(2)
+
+        def run(comm):
+            if comm.rank == 0:
+                keys = np.arange(6, dtype=np.uint64)
+                dests = (keys % np.uint64(2)).astype(np.int64)
+            else:
+                keys = np.zeros(0, dtype=np.uint64)
+                dests = np.zeros(0, dtype=np.int64)
+            (received,) = exchange_by_destination(comm, dests, keys)
+            return received.tolist()
+
+        outs = ctx.run(run)
+        assert outs == [[0, 2, 4], [1, 3, 5]]
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_zero_columns(self, p):
+        """Destinations without payload columns: a pure routing no-op."""
+        ctx = Context(p)
+        outs = ctx.run(
+            lambda comm: exchange_by_destination(
+                comm, np.zeros(3, dtype=np.int64)
+            )
+        )
+        assert outs == [()] * p
+        assert exchange_by_destination(None, np.zeros(3, dtype=np.int64)) == ()
+
+    def test_single_rank_comm_is_identity(self):
+        ctx = Context(1)
+
+        def run(comm):
+            keys = np.arange(4, dtype=np.uint64)
+            vals = keys.astype(np.int64) * 3
+            k, v = exchange_by_destination(
+                comm, np.zeros(4, dtype=np.int64), keys, vals
+            )
+            return np.array_equal(k, keys) and np.array_equal(v, vals)
+
+        assert ctx.run(run) == [True]
+
+    def test_list_columns_accepted_everywhere(self):
+        """Regression: list columns worked sequentially but crashed the
+        distributed fancy-indexing path before coercion was hoisted."""
+        (seq,) = exchange_by_destination(None, [0, 0], [5, 6])
+        assert seq.tolist() == [5, 6]
+        ctx = Context(1)
+        outs = ctx.run(
+            lambda comm: exchange_by_destination(comm, [0, 0], [5, 6])[
+                0
+            ].tolist()
+        )
+        assert outs == [[5, 6]]
+
+    def test_misaligned_column_rejected(self):
+        """Regression: a short/long column used to silently drop rows on
+        the distributed path instead of failing loudly."""
+        with pytest.raises(ValueError, match="rows"):
+            exchange_by_destination(
+                None, np.zeros(3, dtype=np.int64), np.arange(2)
+            )
+        ctx = Context(2)
+        with pytest.raises(SPMDError):
+            ctx.run(
+                lambda comm: exchange_by_destination(
+                    comm,
+                    np.zeros(2, dtype=np.int64),
+                    np.arange(5, dtype=np.uint64),
+                )
+            )
+
 
 class TestLocalAggregate:
     def test_matches_reference(self, kv_small):

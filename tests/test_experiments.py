@@ -172,6 +172,38 @@ class TestScaling:
         # With the paper's local-cost ratio the overhead is a few percent.
         assert ratios[-1] < 1.15
 
+    def test_measured_multiseed_points(self):
+        points = measured_weak_scaling(
+            SumCheckConfig.parse("4x8 m5"),
+            items_per_pe=2_000,
+            pes=(1, 2),
+            repeats=1,
+            num_keys=1_000,
+            num_seeds=4,
+        )
+        assert [pt.p for pt in points] == [1, 2]
+        for pt in points:
+            assert pt.time_with >= pt.time_without >= 0
+
+    def test_modeled_multiseed_row(self):
+        """The δ^T row: T× the table on the wire, amortized local cost."""
+        single = modeled_weak_scaling(
+            SumCheckConfig.parse("5x16 m5"),
+            pes=(32, 4096),
+            check_local_ns=5.0,
+            reduce_local_ns=90.0,
+        )
+        multi = modeled_weak_scaling(
+            SumCheckConfig.parse("5x16 m5"),
+            pes=(32, 4096),
+            check_local_ns=5.0 * 8,  # 8 seeds at the single-seed rate
+            reduce_local_ns=90.0,
+            num_seeds=8,
+        )
+        for s, m in zip(single, multi):
+            assert m.ratio > s.ratio  # more seeds cost more...
+            assert m.ratio < 1.0 + 8 * (s.ratio - 1.0) + 1e-9  # ...but < T×
+
     def test_modeled_with_paper_constants_matches_fig4_band(self):
         """Feeding the paper's measured ns constants into the α–β model
         lands the overhead inside Fig 4's 1.01–1.12 band."""

@@ -1,0 +1,171 @@
+"""Tests for the CRC affinity kernel (one hash pass, many seed lanes).
+
+The load-bearing identity: CRC-32C is GF(2)-linear in its initial state,
+``crc(x, s) = crc(x, 0) ⊕ crc(0^len, s)``, so every seed lane of the
+multi-seed checkers follows from ONE table-lookup pass plus a per-seed
+XOR constant.  Everything here checks bit-identity against the per-seed
+kernels that predate the affinity path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing.bitgroups import assign_buckets_batch, iter_bucket_blocks
+from repro.hashing.crc32c import (
+    _TABLE,
+    crc32c_seed_constants,
+    crc32c_u64_array,
+    crc32c_zero_advance,
+)
+from repro.hashing.families import get_family, hash_lanes
+
+
+def _advance_bytewise(states: np.ndarray, length: int) -> np.ndarray:
+    crc = states.astype(np.uint32, copy=True)
+    for _ in range(length):
+        crc = (crc >> np.uint32(8)) ^ _TABLE[crc & np.uint32(0xFF)]
+    return crc
+
+
+class TestZeroAdvance:
+    @pytest.mark.parametrize(
+        "length", [0, 1, 3, 8, 64, 65, 129, 1_000, 123_457]
+    )
+    def test_matches_bytewise_loop(self, length, rng):
+        states = rng.integers(0, 2**32, 16).astype(np.uint32)
+        got = crc32c_zero_advance(states, length)
+        assert np.array_equal(got, _advance_bytewise(states, length))
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            crc32c_zero_advance(np.zeros(1, dtype=np.uint32), -1)
+
+    def test_zero_length_is_identity_copy(self):
+        states = np.array([1, 2, 3], dtype=np.uint32)
+        out = crc32c_zero_advance(states, 0)
+        assert np.array_equal(out, states)
+        out[0] = 99
+        assert states[0] == 1  # a copy, not a view
+
+    def test_linearity_in_state(self, rng):
+        # advance(a ⊕ b) = advance(a) ⊕ advance(b): the property the
+        # matrix-power path relies on.
+        a = rng.integers(0, 2**32, 8).astype(np.uint32)
+        b = rng.integers(0, 2**32, 8).astype(np.uint32)
+        for length in (5, 777):
+            assert np.array_equal(
+                crc32c_zero_advance(a ^ b, length),
+                crc32c_zero_advance(a, length)
+                ^ crc32c_zero_advance(b, length),
+            )
+
+
+class TestAffinityIdentity:
+    @pytest.mark.parametrize("nbytes", [1, 4, 8])
+    def test_constants_reproduce_seeded_crc(self, nbytes, rng):
+        """crc(x, s) == crc(x, 0) ⊕ c(s) for every seed and width."""
+        keys = rng.integers(0, 2**63, 500).astype(np.uint64)
+        seeds = rng.integers(0, 2**64, 33, dtype=np.uint64)
+        base = crc32c_u64_array(keys, 0, nbytes).astype(np.uint64)
+        consts = crc32c_seed_constants(seeds, nbytes)
+        for t, seed in enumerate(seeds):
+            ref = crc32c_u64_array(
+                keys, int(seed) & 0xFFFFFFFF, nbytes
+            ).astype(np.uint64)
+            assert np.array_equal(base ^ consts[t], ref)
+
+    def test_constants_accept_any_shape(self, rng):
+        seeds = rng.integers(0, 2**64, (3, 5), dtype=np.uint64)
+        consts = crc32c_seed_constants(seeds, 8)
+        assert consts.shape == (3, 5)
+        assert np.array_equal(
+            consts.ravel(), crc32c_seed_constants(seeds.ravel(), 8)
+        )
+
+    @pytest.mark.parametrize("family", ["CRC", "CRC4"])
+    def test_family_hasher_lanes_match_instances(self, family, rng):
+        fam = get_family(family)
+        keys = rng.integers(0, 2**64, 300, dtype=np.uint64)
+        seeds = rng.integers(0, 2**64, 11, dtype=np.uint64)
+        hasher = fam.multiseed_hasher(keys)
+        assert hasher is not None
+        lanes = hash_lanes(fam, seeds, keys, hasher)
+        for t, seed in enumerate(seeds):
+            assert np.array_equal(
+                lanes[t], fam.instance(int(seed)).hash_array(keys)
+            )
+
+    @pytest.mark.parametrize("family", ["Mix", "Tab", "Tab64", "MShift"])
+    def test_non_affine_families_have_no_hasher(self, family):
+        fam = get_family(family)
+        assert fam.multiseed_hasher(np.arange(4, dtype=np.uint64)) is None
+
+    @pytest.mark.parametrize("family", ["Mix", "CRC"])
+    def test_hash_lanes_tiled_fallback_matches_instances(self, family, rng):
+        fam = get_family(family)
+        keys = rng.integers(0, 2**64, 200, dtype=np.uint64)
+        seeds = rng.integers(0, 2**64, 7, dtype=np.uint64)
+        lanes = hash_lanes(fam, seeds, keys)  # no hasher: tiled path
+        for t, seed in enumerate(seeds):
+            assert np.array_equal(
+                lanes[t], fam.instance(int(seed)).hash_array(keys)
+            )
+
+
+class TestBucketBlocksAffinity:
+    """The affinity path of iter_bucket_blocks is invisible to consumers."""
+
+    def _reference_blocks(self, family, d, iterations, seeds, keys, chunk):
+        # The pre-affinity implementation: tile the keys per seed block and
+        # hash every lane through the batched per-seed kernel.
+        k = keys.size
+        per_block = max(1, chunk // max(k, 1))
+        for start in range(0, seeds.size, per_block):
+            count = min(per_block, seeds.size - start)
+            owner = np.repeat(np.arange(count, dtype=np.intp), k)
+            yield start, count, assign_buckets_batch(
+                family,
+                d,
+                iterations,
+                seeds[start : start + count],
+                np.tile(keys, count),
+                owner,
+            )
+
+    @pytest.mark.parametrize("family", ["CRC", "CRC4", "Mix", "Tab64"])
+    @pytest.mark.parametrize("d", [2, 16, 37, 64])
+    @pytest.mark.parametrize("iterations", [1, 3, 8, 9])
+    def test_blocks_match_per_seed_kernels(self, family, d, iterations, rng):
+        fam = get_family(family)
+        keys = rng.integers(0, 2**64, 400, dtype=np.uint64)
+        seeds = rng.integers(0, 2**64, 13, dtype=np.uint64)
+        got = list(iter_bucket_blocks(fam, d, iterations, seeds, keys, 1500))
+        ref = list(
+            self._reference_blocks(fam, d, iterations, seeds, keys, 1500)
+        )
+        assert len(got) == len(ref) > 1  # chunking actually exercised
+        for (s1, c1, b1), (s2, c2, b2) in zip(got, ref):
+            assert (s1, c1) == (s2, c2)
+            assert np.array_equal(b1, b2)
+
+    def test_empty_keys(self):
+        fam = get_family("CRC")
+        seeds = np.arange(3, dtype=np.uint64)
+        blocks = list(
+            iter_bucket_blocks(
+                fam, 16, 4, seeds, np.zeros(0, dtype=np.uint64)
+            )
+        )
+        for _, count, buckets in blocks:
+            assert buckets.shape == (4, 0)
+
+    def test_iterations_below_groups_per_eval(self, rng):
+        # iterations=2 < groups_per_eval=8 for d=16/32-bit CRC: only the
+        # first two base groups may be touched.
+        fam = get_family("CRC")
+        keys = rng.integers(0, 2**64, 100, dtype=np.uint64)
+        seeds = rng.integers(0, 2**64, 4, dtype=np.uint64)
+        got = list(iter_bucket_blocks(fam, 16, 2, seeds, keys))
+        ref = list(self._reference_blocks(fam, 16, 2, seeds, keys, 1 << 20))
+        for (_, _, b1), (_, _, b2) in zip(got, ref):
+            assert np.array_equal(b1, b2)
