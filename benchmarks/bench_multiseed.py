@@ -34,7 +34,7 @@ _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_multiseed.json"
 _NUM_SEEDS = 32
 _MIN_SPEEDUP = 5.0
 _PRIMARY = "8x16 CRC m15"
-_FAMILIES = ("8x16 CRC m15", "8x16 Mix m15", "8x16 Tab64 m15")
+_FAMILIES = ("8x16 CRC m15", "8x16 Mix m15", "8x16 Tab m15", "8x16 Tab64 m15")
 
 
 def _measure_cell(label: str, keys, values, seeds, benchmark=None) -> dict:

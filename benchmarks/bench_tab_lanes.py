@@ -1,0 +1,168 @@
+"""Stacked tabulation lanes vs the per-seed kernel loop, plus Mix rows.
+
+The Tab/Tab64 analog of ``bench_crc_affinity.py``.  Three sections, all
+written to ``BENCH_tab_lanes.json``:
+
+1. **Lane level** (the ≥3× gate, for Tab AND Tab64): the full
+   ``T = 32 × 10^6`` lane matrix through :func:`hash_lanes`, once with
+   the stacked kernel (byte indices extracted once, ``num_tables``
+   cache-blocked gathers per seed block) and once through a family clone
+   without a multiseed kernel (the chunked tiled fallback — one
+   byte-extraction + gather pass *per seed*, today's per-seed kernel
+   path).  Outputs are asserted bit-identical.
+2. **Bucket-block level**: the same comparison end-to-end through
+   :func:`~repro.hashing.bitgroups.iter_bucket_blocks` on the Tab64
+   checker configuration, i.e. including bit-group extraction — what
+   ``MultiSeedSumChecker.local_tables`` actually consumes.
+3. **Mix row** (reported, not gated): the broadcast lane kernel against
+   the tiled fallback.
+
+``REPRO_BENCH_SMOKE=1`` shrinks everything and skips the artifact/gate.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import best_of, run_once, smoke_mode, write_artifact
+
+from repro.core.params import SumCheckConfig
+from repro.hashing.bitgroups import iter_bucket_blocks
+from repro.hashing.families import HashFamily, get_family, hash_lanes
+from repro.util.rng import derive_seed, derive_seed_array
+from repro.workloads.kv import sum_workload
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_tab_lanes.json"
+_NUM_SEEDS = 32
+_MIN_LANE_SPEEDUP = 3.0
+_GATED = ("Tab", "Tab64")
+_CONFIG = "8x16 Tab64 m15"
+
+
+def _plain_clone(name: str) -> HashFamily:
+    """The pre-stacked execution path: same batch kernel, no lane hasher,
+    so every consumer pays one hash pass per seed."""
+    src = get_family(name)
+    return HashFamily(
+        name + "plain",
+        src._factory,
+        src.bits,
+        f"{name} without the lane kernel (per-seed baseline)",
+        batch_kernel=src._batch_kernel,
+    )
+
+
+def _lane_cell(name: str, seeds, keys, benchmark=None) -> dict:
+    fam = get_family(name)
+    plain = _plain_clone(name)
+
+    # Equivalence gate: stacked lanes are bit-identical to the per-seed
+    # kernel lanes (doubles as warm-up for both paths).
+    stacked = hash_lanes(fam, seeds, keys)
+    assert np.array_equal(stacked, hash_lanes(plain, seeds, keys)), name
+
+    plain_s = best_of(lambda: hash_lanes(plain, seeds, keys), 2)
+    if benchmark is not None:
+        t0 = time.perf_counter()
+        run_once(benchmark, lambda: hash_lanes(fam, seeds, keys))
+        stacked_s = min(
+            time.perf_counter() - t0,
+            best_of(lambda: hash_lanes(fam, seeds, keys), 2),
+        )
+    else:
+        stacked_s = best_of(lambda: hash_lanes(fam, seeds, keys), 3)
+    lane_elems = seeds.size * keys.size
+    return {
+        "section": "lanes",
+        "family": name,
+        "num_seeds": int(seeds.size),
+        "elements": int(keys.size),
+        "per_seed_kernel_seconds": plain_s,
+        "stacked_seconds": stacked_s,
+        "per_seed_kernel_ns_per_lane_element": plain_s / lane_elems * 1e9,
+        "stacked_ns_per_lane_element": stacked_s / lane_elems * 1e9,
+        "speedup": plain_s / stacked_s,
+    }
+
+
+def _consume_blocks(family, d, iterations, seeds, keys):
+    checksum = 0
+    for _, _, buckets in iter_bucket_blocks(
+        family, d, iterations, seeds, keys, 1 << 18
+    ):
+        checksum ^= int(buckets[0, 0])
+    return checksum
+
+
+def _bucket_cell(cfg: SumCheckConfig, seeds, keys) -> dict:
+    fam = get_family(cfg.hash_family)
+    plain = _plain_clone(cfg.hash_family)
+    args = (cfg.d, cfg.iterations, seeds, keys)
+
+    for (s_a, c_a, b_a), (s_p, c_p, b_p) in zip(
+        iter_bucket_blocks(fam, *args, 1 << 18),
+        iter_bucket_blocks(plain, *args, 1 << 18),
+    ):
+        assert (s_a, c_a) == (s_p, c_p)
+        assert np.array_equal(b_a, b_p), "stacked bucket lanes diverged"
+
+    plain_s = best_of(lambda: _consume_blocks(plain, *args), 2)
+    stacked_s = best_of(lambda: _consume_blocks(fam, *args), 3)
+    lanes = seeds.size * cfg.iterations
+    return {
+        "section": "bucket-blocks",
+        "config": cfg.label(),
+        "num_seeds": int(seeds.size),
+        "elements": int(keys.size),
+        "lanes": int(lanes),
+        "per_seed_kernel_seconds": plain_s,
+        "stacked_seconds": stacked_s,
+        "speedup": plain_s / stacked_s,
+    }
+
+
+def test_tab_lane_speedup(benchmark, overhead_elements):
+    n = overhead_elements if smoke_mode() else max(overhead_elements, 10**6)
+    seeds = derive_seed_array(
+        0x7AB, "checker", np.arange(_NUM_SEEDS, dtype=np.uint64)
+    )
+    keys = np.unique(sum_workload(n, seed=derive_seed(0x7AB, "wl"))[0])
+
+    cells = [
+        _lane_cell(
+            name, seeds, keys,
+            benchmark=benchmark if name == "Tab64" else None,
+        )
+        for name in (*_GATED, "Mix")
+    ]
+    cells.append(_bucket_cell(SumCheckConfig.parse(_CONFIG), seeds, keys))
+
+    write_artifact(
+        _ARTIFACT,
+        {
+            "primary": "lanes Tab64",
+            "min_required_lane_speedup": _MIN_LANE_SPEEDUP,
+            "gated_families": list(_GATED),
+            "cells": cells,
+        },
+    )
+    by_family = {
+        c["family"]: c for c in cells if c["section"] == "lanes"
+    }
+    benchmark.extra_info.update(
+        tab64_lane_speedup=by_family["Tab64"]["speedup"],
+        artifact=str(_ARTIFACT),
+    )
+    print()
+    for cell in cells:
+        label = cell.get("family", cell.get("config"))
+        print(f"{cell['section']} {label}: {cell['speedup']:.2f}x")
+    if not smoke_mode():
+        for name in _GATED:
+            assert by_family[name]["speedup"] >= _MIN_LANE_SPEEDUP, (
+                f"{name} stacked lanes only {by_family[name]['speedup']:.2f}x "
+                f"over the per-seed kernel loop (required {_MIN_LANE_SPEEDUP}x)"
+            )

@@ -51,12 +51,13 @@ from repro.hashing.bitgroups import iter_bucket_blocks
 from repro.hashing.families import get_family, hash_lanes
 from repro.util.rng import derive_seed_array, splitmix64_array
 
-#: Elements (seed-tiled unique keys) per batched hash pass; bounds the
-#: bucket-index scratch to ``iterations · chunk · 8`` bytes and keeps one
-#: block's working set cache-friendly.  Small key sets still batch
-#: thousands of seeds per hash pass; paper-scale key sets get one seed per
-#: pass, which measures faster than wider tiles (the per-pass gather and
-#: tile scratch outgrow the cache before the batching pays off).
+#: Lane-matrix elements (seed lanes × unique keys) per batched hash pass;
+#: bounds the bucket-index scratch to ``iterations · chunk · 8`` bytes and
+#: keeps one block's working set cache-friendly.  Small key sets still
+#: batch thousands of seeds per lane pass; paper-scale key sets get one
+#: seed per pass — the shared base work (CRC's seed-0 sweep, tabulation's
+#: byte extraction) is hoisted out of the block loop by the family's
+#: :class:`~repro.hashing.families.LaneHasher` either way.
 _DEFAULT_CHUNK_ELEMENTS = 1 << 18
 
 
@@ -498,9 +499,13 @@ class MultiSeedHashSumChecker:
     ) -> list[list[int]]:
         """:meth:`fingerprints` from pre-condensed (uniques, counts) pairs.
 
-        CRC families go through the affinity hasher — one table-lookup pass
-        per (uniques) array serves every ``T × iterations`` lane; other
-        families hash tiled seed blocks.
+        Every registered family goes through its
+        :class:`~repro.hashing.families.LaneHasher`, built once per
+        (uniques) array: the fixed-keys base pass (CRC's seed-0 table
+        lookups, tabulation's byte extraction) serves every
+        ``T × iterations`` lane, and each lane evaluation is a constant
+        XOR (CRC), a stacked-table gather (Tab/Tab64), or a broadcast mix
+        (Mix) — never a tiled per-seed hash pass.
         """
         totals = [[0] * self.iterations for _ in range(self.num_seeds)]
         for uniques, counts in condensed:

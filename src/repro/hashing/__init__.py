@@ -27,12 +27,22 @@ from repro.hashing.crc32c import (
     crc32c_u64,
     crc32c_u64_array,
 )
-from repro.hashing.tabulation import TabulationHash, tabulation_tables
+from repro.hashing.tabulation import (
+    StackedLaneHasher,
+    TabulationHash,
+    stacked_tabulation_tables,
+    tabulation_lanes,
+    tabulation_tables,
+)
 from repro.hashing.mixers import MultiplyShiftHash, SplitMixHash
 from repro.hashing.families import (
+    AffineLaneHasher,
+    BroadcastLaneHasher,
     HashFamily,
     HashFunction,
+    LaneHasher,
     get_family,
+    hash_lanes,
     list_families,
 )
 from repro.hashing.bitgroups import BucketAssigner, split_bit_groups
@@ -57,13 +67,20 @@ __all__ = [
     "crc32c_checksum",
     "crc32c_u64",
     "crc32c_u64_array",
+    "StackedLaneHasher",
     "TabulationHash",
+    "stacked_tabulation_tables",
+    "tabulation_lanes",
     "tabulation_tables",
     "MultiplyShiftHash",
     "SplitMixHash",
+    "AffineLaneHasher",
+    "BroadcastLaneHasher",
     "HashFamily",
     "HashFunction",
+    "LaneHasher",
     "get_family",
+    "hash_lanes",
     "list_families",
     "BucketAssigner",
     "split_bit_groups",

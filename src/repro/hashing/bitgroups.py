@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.families import HashFamily, hash_lanes
+from repro.hashing.families import AffineLaneHasher, HashFamily, hash_lanes
 from repro.util.bits import ceil_log2, is_power_of_two
 from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
@@ -150,22 +150,26 @@ def iter_bucket_blocks(
     of shape ``(iterations, count · len(keys))``; column ``c·len(keys)+i``
     is seed ``seeds[start+c]`` over ``keys[i]``.
 
-    Families whose hash is affine in the seed (CRC, via
-    :meth:`~repro.hashing.families.HashFamily.multiseed_hasher`) take a
-    fast path: the keys are hashed once with seed 0 and every lane is an
-    XOR constant away — bit-identical to the per-seed kernels.
+    Every registered family takes a shared-base fast path through its
+    :class:`~repro.hashing.families.LaneHasher` (built once per call, via
+    :meth:`~repro.hashing.families.HashFamily.multiseed_hasher`) — the
+    fixed-keys base pass (CRC's seed-0 hash, tabulation's byte extraction)
+    never repeats per seed — bit-identical to the per-seed kernels.
     """
     seeds = np.asarray(seeds, dtype=np.uint64).ravel()
     keys = np.asarray(keys, dtype=np.uint64).ravel()
     k = keys.size
     per_block = max(1, chunk_elements // max(k, 1))
-    # CRC families expose their affinity structure (h_s(x) = h_0(x) ⊕ c(s)):
-    # the per-key table-lookup pass happens exactly once, here.  Bit-group
-    # extraction commutes with the seed XOR — ((h⊕c) >> g) & m equals
-    # ((h >> g) & m) ⊕ ((c >> g) & m) — so each of the len(seeds)·iterations
-    # lanes below is ONE vectorized XOR of a per-lane constant into the base
-    # groups.  Other families hash tiled key blocks per seed.
+    # The base pass over the keys (CRC's seed-0 table-lookup sweep,
+    # tabulation's byte-index extraction) happens exactly once, here; each
+    # seed block below only evaluates lanes against it.  Affine (CRC)
+    # hashers go further for power-of-two d: bit-group extraction commutes
+    # with the seed XOR — ((h⊕c) >> g) & m == ((h >> g) & m) ⊕ ((c >> g) & m)
+    # — so each lane is ONE vectorized XOR of a per-lane constant into the
+    # base groups, never touching the hashes again.  Families without a
+    # lane hasher (custom registrations) hash tiled key blocks per seed.
     hasher = family.multiseed_hasher(keys)
+    affine = isinstance(hasher, AffineLaneHasher)
     prefix = derive_seed_array(seeds, "bucket")
     if is_power_of_two(d):
         group_bits = ceil_log2(d)
@@ -173,7 +177,7 @@ def iter_bucket_blocks(
         num_evals = -(-iterations // groups_per_eval)
         mask = np.uint64(d - 1)
         base_groups = None
-        if hasher is not None:
+        if affine:
             base_groups = [
                 ((hasher.base >> np.uint64(g * group_bits)) & mask).astype(
                     np.intp
@@ -191,9 +195,7 @@ def iter_bucket_blocks(
         it = 0
         for e in range(num_evals):
             fn_seeds = splitmix64_array(block_prefix ^ np.uint64(e))
-            if hasher is None:
-                h = hash_lanes(family, fn_seeds, keys).reshape(count * k)
-            elif group_bits:
+            if affine and group_bits:
                 consts = hasher.constants(fn_seeds)  # (count,) uint64
                 for g in range(groups_per_eval):
                     if it >= iterations:
@@ -208,11 +210,10 @@ def iter_bucket_blocks(
                     )
                     it += 1
                 continue
+            if hasher is not None:
+                h = hasher.lanes(fn_seeds).reshape(count * k)
             else:
-                h = (
-                    hasher.base[None, :]
-                    ^ hasher.constants(fn_seeds)[:, None]
-                ).reshape(count * k)
+                h = hash_lanes(family, fn_seeds, keys).reshape(count * k)
             if group_bits:
                 for g in range(groups_per_eval):
                     if it >= iterations:

@@ -27,9 +27,15 @@ from repro.hashing.mixers import (
     MultiplyShiftHash,
     SplitMixHash,
     multiply_shift_hash_batch,
+    multiply_shift_lanes,
     splitmix_hash_batch,
+    splitmix_lanes,
 )
-from repro.hashing.tabulation import TabulationHash, tabulation_hash_batch
+from repro.hashing.tabulation import (
+    StackedLaneHasher,
+    TabulationHash,
+    tabulation_hash_batch,
+)
 
 
 @runtime_checkable
@@ -140,14 +146,24 @@ class HashFamily:
             out[pick] = self.instance(int(seeds[t])).hash_array(keys[pick])
         return out
 
-    def multiseed_hasher(self, keys: np.ndarray) -> "AffineHasher | None":
+    def multiseed_hasher(self, keys: np.ndarray) -> "LaneHasher | None":
         """Shared-pass lane evaluator over fixed ``keys``, or None.
 
-        When the family's hash is *affine in the seed* — CRC:
-        ``h_s(x) = h_0(x) ⊕ c(s)`` — this hashes the keys once and returns
-        an :class:`AffineHasher` from which every seed lane follows by a
-        single XOR constant.  Families without such structure return None
-        and callers fall back to :func:`hash_lanes`' tiled path.
+        The base pass over the keys (whatever the family can hoist out of
+        per-seed work) runs once, here; the returned :class:`LaneHasher`
+        then evaluates any number of seed lanes against it:
+
+        * CRC/CRC4 — :class:`AffineLaneHasher`: the seed-0 hash of every
+          key, each lane one XOR constant away (``h_s = h_0 ⊕ c(s)``);
+        * Tab/Tab64 — :class:`~repro.hashing.tabulation.StackedLaneHasher`:
+          byte indices extracted once, each lane block ``num_tables``
+          gathers from the seed-stacked tables;
+        * Mix/MShift — :class:`BroadcastLaneHasher`: one broadcast mix
+          over ``seeds × keys``.
+
+        Every registered family returns a hasher; only custom families
+        registered without a ``multiseed_kernel`` return None, sending
+        :func:`hash_lanes` down its (chunked) tiled fallback.
         """
         if self._multiseed_kernel is None:
             return None
@@ -157,14 +173,28 @@ class HashFamily:
         return f"HashFamily({self.name!r}, bits={self.bits})"
 
 
-class AffineHasher:
+@runtime_checkable
+class LaneHasher(Protocol):
+    """Multi-seed lane evaluator over a fixed key array.
+
+    Built by :meth:`HashFamily.multiseed_hasher`, which runs the fixed-keys
+    base pass once; :meth:`lanes` evaluates seed lanes against it.  Every
+    lane is bit-identical to the seeded instance's ``hash_array``.
+    """
+
+    def lanes(self, seeds: np.ndarray) -> np.ndarray:
+        """Lane matrix ``out[t] = instance(seeds[t]).hash_array(keys)``."""
+        ...
+
+
+class AffineLaneHasher:
     """Seed-affine hash over a fixed key array: ``h_s(x) = base(x) ⊕ c(s)``.
 
     ``base`` is the (already computed) seed-0 hash of every key; ``c`` is
-    the per-seed constant.  Consumers exploit the structure directly —
-    e.g. the bit-group bucket assigner extracts groups from ``base`` once
-    and XORs each lane's constant group in, so a seed lane never touches
-    the key array again.
+    the per-seed constant.  Consumers may exploit the affine structure
+    beyond :meth:`lanes` — the bit-group bucket assigner extracts groups
+    from ``base`` once and XORs each lane's constant group in, so a seed
+    lane never touches the key array again.
     """
 
     def __init__(self, base: np.ndarray, constants_fn):
@@ -180,25 +210,67 @@ class AffineHasher:
         return self.constants(seeds)[..., None] ^ self.base
 
 
+#: Backwards-compatible name from before the LaneHasher generalization.
+AffineHasher = AffineLaneHasher
+
+
+class BroadcastLaneHasher:
+    """Lane evaluator from a closed-form broadcast kernel.
+
+    For families whose seeded evaluation is an elementwise formula of
+    (seed, key) — Mix's keyed SplitMix, MShift's multiply-shift — the lane
+    matrix is one broadcast kernel call over ``seeds[:, None]`` ×
+    ``keys[None, :]``: no per-seed instance loop, no key tiling.
+    """
+
+    def __init__(self, keys: np.ndarray, lanes_kernel):
+        self._keys = np.asarray(keys, dtype=np.uint64).ravel()
+        self._lanes_kernel = lanes_kernel
+
+    def lanes(self, seeds: np.ndarray) -> np.ndarray:
+        return self._lanes_kernel(seeds, self._keys)
+
+
+#: Seed-tiled elements per batched pass of the :func:`hash_lanes` fallback;
+#: bounds its peak scratch (tiled keys + owner + output block) instead of
+#: materializing all ``len(seeds) × len(keys)`` tiled keys at once.
+_FALLBACK_CHUNK_ELEMENTS = 1 << 20
+
+
 def hash_lanes(
-    family: HashFamily, seeds: np.ndarray, keys: np.ndarray, hasher=None
+    family: HashFamily,
+    seeds: np.ndarray,
+    keys: np.ndarray,
+    hasher: "LaneHasher | None" = None,
+    chunk_elements: int = _FALLBACK_CHUNK_ELEMENTS,
 ) -> np.ndarray:
     """Lane matrix ``out[t] = instance(seeds[t]).hash_array(keys)``.
 
     The multi-seed access pattern (every seed over the same key array).
-    With an :class:`AffineHasher` from :meth:`HashFamily.multiseed_hasher`
-    the per-key pass is already amortized across every call; otherwise the
-    keys are tiled through the family's batched kernel (one hash pass
-    covering all ``len(seeds) × len(keys)`` lane entries).
+    Evaluation goes through the family's :class:`LaneHasher` — passed in
+    by callers that amortize the base pass across calls, or built here —
+    so no registered family pays a per-seed pass.  Only families without
+    a multiseed kernel fall back to tiling the keys through the batched
+    kernel, in bounded seed blocks of ``chunk_elements`` tiled keys
+    (peak scratch O(chunk), not O(len(seeds) · len(keys))).
     """
     seeds = np.asarray(seeds, dtype=np.uint64).ravel()
     keys = np.asarray(keys, dtype=np.uint64).ravel()
+    if hasher is None:
+        hasher = family.multiseed_hasher(keys)
     if hasher is not None:
         return hasher.lanes(seeds)
-    owner = np.repeat(np.arange(seeds.size, dtype=np.intp), keys.size)
-    return family.hash_array_batch(
-        seeds, owner, np.tile(keys, seeds.size)
-    ).reshape(seeds.size, keys.size)
+    if chunk_elements < 1:
+        raise ValueError(f"chunk_elements must be >= 1, got {chunk_elements}")
+    out = np.empty((seeds.size, keys.size), dtype=np.uint64)
+    per_block = max(1, chunk_elements // max(keys.size, 1))
+    for start in range(0, seeds.size, per_block):
+        count = min(per_block, seeds.size - start)
+        owner = np.repeat(np.arange(count, dtype=np.intp), keys.size)
+        out[start : start + count] = family.hash_array_batch(
+            seeds[start : start + count], owner, np.tile(keys, count)
+        ).reshape(count, keys.size)
+    return out
 
 
 _REGISTRY: dict[str, HashFamily] = {}
@@ -233,6 +305,22 @@ def _tab_batch_kernel(key_bits: int, out_bits: int):
     return kernel
 
 
+def _tab_multiseed_kernel(key_bits: int, out_bits: int):
+    def kernel(keys):
+        return StackedLaneHasher(keys, key_bits, out_bits)
+
+    return kernel
+
+
+def _broadcast_multiseed_kernel(lanes_fn, out_bits: int):
+    def kernel(keys):
+        return BroadcastLaneHasher(
+            keys, lambda seeds, fixed: lanes_fn(seeds, fixed, out_bits)
+        )
+
+    return kernel
+
+
 CRC_FAMILY = _register(
     HashFamily(
         "CRC",
@@ -260,6 +348,7 @@ TAB_FAMILY = _register(
         32,
         "simple tabulation, 4 tables of 256 (32-bit keys)",
         batch_kernel=_tab_batch_kernel(32, 32),
+        multiseed_kernel=_tab_multiseed_kernel(32, 32),
     )
 )
 TAB64_FAMILY = _register(
@@ -269,6 +358,7 @@ TAB64_FAMILY = _register(
         64,
         "simple tabulation, 8 tables of 256 (64-bit keys)",
         batch_kernel=_tab_batch_kernel(64, 64),
+        multiseed_kernel=_tab_multiseed_kernel(64, 64),
     )
 )
 MIX_FAMILY = _register(
@@ -280,6 +370,7 @@ MIX_FAMILY = _register(
         batch_kernel=lambda seeds, owner, keys: splitmix_hash_batch(
             seeds, owner, keys, 64
         ),
+        multiseed_kernel=_broadcast_multiseed_kernel(splitmix_lanes, 64),
     )
 )
 MSHIFT_FAMILY = _register(
@@ -291,6 +382,7 @@ MSHIFT_FAMILY = _register(
         batch_kernel=lambda seeds, owner, keys: multiply_shift_hash_batch(
             seeds, owner, keys, 32
         ),
+        multiseed_kernel=_broadcast_multiseed_kernel(multiply_shift_lanes, 32),
     )
 )
 

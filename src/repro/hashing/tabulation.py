@@ -70,9 +70,145 @@ def tabulation_tables_batch(
     return entries.reshape(seeds.size, num_tables, 256)
 
 
-#: Keys-per-seed threshold above which materializing the stacked tables
-#: beats deriving entries per key (table build costs 256 mixes per table).
-_DENSE_KEYS_PER_SEED = 64
+#: Keys-per-seed threshold above which materializing the per-seed tables
+#: (then owner-gathering entries) beats deriving the consulted entries
+#: per key from the SplitMix64 counter construction.  Re-measured after
+#: the stacked lane kernel landed (this machine, ``num_tables=8``, best
+#: of 4, S = seed count): the per-key SplitMix derivation is cheaper than
+#: the two-level ``tables[owner, i, byte]`` gather far beyond the old
+#: threshold of 64 — at 64 keys/seed sparse wins 2.2× (S=16: 0.28 vs
+#: 0.60 µs/key) to 9× (S=256: 0.054 vs 0.51 µs/key); the crossover sits
+#: between ~1 000 and ~4 000 keys/seed (S=4: ~4 096, S=16/S=64: ~2 048,
+#: S=256: ~1 024) and is shallow (≲10 % either side of it).  2 048 lands
+#: inside that band for every measured seed count; batches below it now
+#: take the formerly-undervalued sparse path.  The *multi-seed lane*
+#: pattern (every seed over the same keys) does not go through here at
+#: all any more — ``StackedLaneHasher`` gathers those without an owner
+#: indirection.
+_DENSE_KEYS_PER_SEED = 2048
+
+
+def stacked_tabulation_tables(
+    seeds: np.ndarray, num_tables: int, out_bits: int = 64
+) -> np.ndarray:
+    """Seed-stacked tables, shape ``(num_tables, 256, len(seeds))``.
+
+    The canonical byte-major transpose of :func:`tabulation_tables_batch`:
+    slice ``[..., t]`` is byte-identical to
+    ``tabulation_tables(seeds[t], num_tables, out_bits)``, and
+    ``stacked[i, b]`` is the vector of every seed's entry for byte value
+    ``b`` of table ``i`` — one fancy-indexed gather per table serves all
+    ``T`` seed lanes at once.  :class:`StackedLaneHasher` gathers from
+    the seed-major transpose of the same stack (lane ``t`` then reads a
+    contiguous 2 KB table slice, which measures faster); this byte-major
+    form is the interop/reference layout.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    return np.ascontiguousarray(
+        tabulation_tables_batch(seeds, num_tables, out_bits).transpose(1, 2, 0)
+    )
+
+
+#: Lane-matrix elements (seed lanes × block keys) per cache-blocked gather;
+#: bounds the gather accumulator to ~2 MB so every block's working set
+#: (tables + accumulator) stays cache-resident instead of streaming
+#: ``num_tables`` full (T, n) temporaries through DRAM.
+_LANE_BLOCK_ELEMENTS = 1 << 18
+
+
+def _key_byte_indices(keys: np.ndarray, num_tables: int) -> list[np.ndarray]:
+    """Per-table byte indices of every key (the gather addresses)."""
+    keys = np.asarray(keys, dtype=np.uint64).ravel()
+    return [
+        ((keys >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.intp)
+        for i in range(num_tables)
+    ]
+
+
+class StackedLaneHasher:
+    """Tabulation lane evaluator over a fixed key array.
+
+    The :class:`~repro.hashing.families.LaneHasher` for Tab/Tab64: each
+    key's byte indices are extracted **once**, at construction; every
+    :meth:`lanes` call then XOR-accumulates ``num_tables`` fancy-indexed
+    gathers from the seed-stacked tables — independent of how many seed
+    lanes are evaluated, versus ``T × num_tables`` byte extractions and
+    gathers on the per-seed kernel path.
+
+    Gathers run seed-major (each lane reads its own 2 KB table slice) and
+    cache-blocked over keys (:data:`_LANE_BLOCK_ELEMENTS`): ~4× over the
+    per-seed kernel path at T=32 over a 10^6-element workload's unique
+    keys (``BENCH_tab_lanes.json``).
+    """
+
+    def __init__(self, keys, key_bits: int = 64, out_bits: int = 64):
+        if key_bits not in (32, 64):
+            raise ValueError(f"key_bits must be 32 or 64, got {key_bits}")
+        if not 1 <= out_bits <= 64:
+            raise ValueError(f"out_bits must be in 1..64, got {out_bits}")
+        self.key_bits = key_bits
+        self.out_bits = out_bits
+        self.num_tables = key_bits // 8
+        self._bytes = _key_byte_indices(keys, self.num_tables)
+        self.num_keys = self._bytes[0].size
+
+    def lanes(self, seeds: np.ndarray) -> np.ndarray:
+        """Lane matrix ``out[t] = TabulationHash(seeds[t], ...).hash_array``.
+
+        Shape ``(len(seeds), num_keys)``, C-contiguous, bit-identical per
+        row to the seeded instance (entries are pre-masked to
+        ``out_bits``, and XOR preserves the mask).
+        """
+        seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+        # Seed-major table layout: lane t gathers from its own contiguous
+        # 2 KB table slice, so the whole tensor stays cache-resident.
+        tables = np.ascontiguousarray(
+            tabulation_tables_batch(
+                seeds, self.num_tables, self.out_bits
+            ).transpose(1, 0, 2)
+        )
+        lanes, n = seeds.size, self.num_keys
+        out = np.empty((lanes, n), dtype=np.uint64)
+        if n == 0:
+            return out
+        block = max(1, _LANE_BLOCK_ELEMENTS // max(lanes, 1))
+        scratch = np.empty((lanes, min(block, n)), dtype=np.uint64)
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            acc = out[:, start:end]
+            tmp = scratch[:, : end - start]
+            # Byte indices are < 256 by construction; mode="clip" skips
+            # numpy's per-element bounds check without changing results.
+            np.take(
+                tables[0], self._bytes[0][start:end],
+                axis=1, out=tmp, mode="clip",
+            )
+            acc[:] = tmp
+            for i in range(1, self.num_tables):
+                np.take(
+                    tables[i], self._bytes[i][start:end],
+                    axis=1, out=tmp, mode="clip",
+                )
+                acc ^= tmp
+        return out
+
+
+def tabulation_lanes(
+    seeds: np.ndarray,
+    keys: np.ndarray,
+    key_bits: int = 64,
+    out_bits: int = 64,
+) -> np.ndarray:
+    """One-shot stacked lane matrix, shape ``(len(seeds), len(keys))``.
+
+    ``out[t]`` is bit-identical to
+    ``TabulationHash(seeds[t], key_bits, out_bits).hash_array(keys)``;
+    the key bytes are extracted once and each table costs one gather
+    regardless of ``len(seeds)``.  Callers that evaluate several seed
+    blocks over the same keys should hold a :class:`StackedLaneHasher`
+    instead (it caches the byte extraction).
+    """
+    return StackedLaneHasher(keys, key_bits, out_bits).lanes(seeds)
 
 
 def tabulation_hash_batch(

@@ -17,7 +17,12 @@ from repro.hashing.crc32c import (
     crc32c_u64_array,
     crc32c_zero_advance,
 )
-from repro.hashing.families import get_family, hash_lanes
+from repro.hashing.families import (
+    AffineLaneHasher,
+    HashFamily,
+    get_family,
+    hash_lanes,
+)
 
 
 def _advance_bytewise(states: np.ndarray, length: int) -> np.ndarray:
@@ -96,19 +101,38 @@ class TestAffinityIdentity:
             )
 
     @pytest.mark.parametrize("family", ["Mix", "Tab", "Tab64", "MShift"])
-    def test_non_affine_families_have_no_hasher(self, family):
+    def test_non_affine_families_have_non_affine_hashers(self, family):
+        # Since the LaneHasher generalization every registered family has
+        # a lane hasher; only CRC's exposes the affine structure.
         fam = get_family(family)
+        hasher = fam.multiseed_hasher(np.arange(4, dtype=np.uint64))
+        assert hasher is not None
+        assert not isinstance(hasher, AffineLaneHasher)
+
+    def test_kernel_less_family_has_no_hasher(self):
+        fam = HashFamily(
+            "MixBare",
+            get_family("Mix")._factory,
+            64,
+            "clone without lane kernel",
+        )
         assert fam.multiseed_hasher(np.arange(4, dtype=np.uint64)) is None
 
     @pytest.mark.parametrize("family", ["Mix", "CRC"])
     def test_hash_lanes_tiled_fallback_matches_instances(self, family, rng):
-        fam = get_family(family)
+        src = get_family(family)
+        # A kernel-less clone forces the chunked tiled fallback; the
+        # registered families themselves never reach it.
+        fam = HashFamily(
+            family + "Bare", src._factory, src.bits, "no lane kernel",
+            batch_kernel=src._batch_kernel,
+        )
         keys = rng.integers(0, 2**64, 200, dtype=np.uint64)
         seeds = rng.integers(0, 2**64, 7, dtype=np.uint64)
         lanes = hash_lanes(fam, seeds, keys)  # no hasher: tiled path
         for t, seed in enumerate(seeds):
             assert np.array_equal(
-                lanes[t], fam.instance(int(seed)).hash_array(keys)
+                lanes[t], src.instance(int(seed)).hash_array(keys)
             )
 
 
