@@ -38,6 +38,7 @@ from repro.workloads.kv import sum_workload
 _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_tab_lanes.json"
 _NUM_SEEDS = 32
 _MIN_LANE_SPEEDUP = 3.0
+_MIN_FUSED_SPEEDUP = 1.3
 _GATED = ("Tab", "Tab64")
 _CONFIG = "8x16 Tab64 m15"
 
@@ -53,6 +54,30 @@ def _plain_clone(name: str) -> HashFamily:
         f"{name} without the lane kernel (per-seed baseline)",
         batch_kernel=src._batch_kernel,
     )
+
+
+class _LanesOnlyHasher:
+    """A StackedLaneHasher stripped of ``bucket_lanes``: consumers fall
+    back to materializing the full lane matrix and re-extracting groups
+    from it — the pre-fusion execution path."""
+
+    def __init__(self, hasher):
+        self._hasher = hasher
+
+    def lanes(self, seeds):
+        return self._hasher.lanes(seeds)
+
+
+class _UnfusedClone:
+    """Family facade whose lane hasher hides the fused bucket kernel."""
+
+    def __init__(self, name: str):
+        src = get_family(name)
+        self.bits = src.bits
+        self._src = src
+
+    def multiseed_hasher(self, keys):
+        return _LanesOnlyHasher(self._src.multiseed_hasher(keys))
 
 
 def _lane_cell(name: str, seeds, keys, benchmark=None) -> dict:
@@ -124,6 +149,39 @@ def _bucket_cell(cfg: SumCheckConfig, seeds, keys) -> dict:
     }
 
 
+def _fused_cell(name: str, cfg: SumCheckConfig, seeds, keys) -> dict:
+    """Fused gather+extraction vs lanes-then-extract, same stacked tables.
+
+    Isolates the PR's fusion win from the stacked-vs-per-seed win: both
+    paths share the byte-extraction and stacked gathers; only the bucket
+    bit-group step differs (in-cache during the gather loop vs a second
+    pass over the materialized lane matrix).
+    """
+    fam = get_family(name)
+    unfused = _UnfusedClone(name)
+    args = (cfg.d, cfg.iterations, seeds, keys)
+
+    for (s_a, c_a, b_a), (s_p, c_p, b_p) in zip(
+        iter_bucket_blocks(fam, *args, 1 << 18),
+        iter_bucket_blocks(unfused, *args, 1 << 18),
+    ):
+        assert (s_a, c_a) == (s_p, c_p)
+        assert np.array_equal(b_a, b_p), "fused bucket lanes diverged"
+
+    unfused_s = best_of(lambda: _consume_blocks(unfused, *args), 2)
+    fused_s = best_of(lambda: _consume_blocks(fam, *args), 3)
+    return {
+        "section": "bucket-fused",
+        "family": name,
+        "config": cfg.label(),
+        "num_seeds": int(seeds.size),
+        "elements": int(keys.size),
+        "unfused_seconds": unfused_s,
+        "fused_seconds": fused_s,
+        "speedup": unfused_s / fused_s,
+    }
+
+
 def test_tab_lane_speedup(benchmark, overhead_elements):
     n = overhead_elements if smoke_mode() else max(overhead_elements, 10**6)
     seeds = derive_seed_array(
@@ -138,13 +196,19 @@ def test_tab_lane_speedup(benchmark, overhead_elements):
         )
         for name in (*_GATED, "Mix")
     ]
-    cells.append(_bucket_cell(SumCheckConfig.parse(_CONFIG), seeds, keys))
+    cfg = SumCheckConfig.parse(_CONFIG)
+    cells.append(_bucket_cell(cfg, seeds, keys))
+    cells.append(_fused_cell("Tab64", cfg, seeds, keys))
+    cells.append(
+        _fused_cell("Tab", SumCheckConfig.parse("8x16 Tab m15"), seeds, keys)
+    )
 
     write_artifact(
         _ARTIFACT,
         {
             "primary": "lanes Tab64",
             "min_required_lane_speedup": _MIN_LANE_SPEEDUP,
+            "min_required_fused_speedup": _MIN_FUSED_SPEEDUP,
             "gated_families": list(_GATED),
             "cells": cells,
         },
@@ -166,3 +230,11 @@ def test_tab_lane_speedup(benchmark, overhead_elements):
                 f"{name} stacked lanes only {by_family[name]['speedup']:.2f}x "
                 f"over the per-seed kernel loop (required {_MIN_LANE_SPEEDUP}x)"
             )
+        fused64 = next(
+            c for c in cells
+            if c["section"] == "bucket-fused" and c["family"] == "Tab64"
+        )
+        assert fused64["speedup"] >= _MIN_FUSED_SPEEDUP, (
+            f"fused Tab64 bucket extraction only {fused64['speedup']:.2f}x "
+            f"over lanes-then-extract (required {_MIN_FUSED_SPEEDUP}x)"
+        )

@@ -33,11 +33,21 @@ from repro.core.params import (
 from repro.core.integrity import check_replicated, replicated_digest
 from repro.core.sum_checker import (
     SumAggregationChecker,
-    SumCheckerStream,
     check_count_aggregation,
     check_sum_aggregation,
 )
 from repro.core.multiseed import MultiSeedHashSumChecker, MultiSeedSumChecker
+from repro.core.streams import (
+    AverageCheckerStream,
+    CheckerStream,
+    CountCheckerStream,
+    GroupByCheckerStream,
+    MinMaxCheckerStream,
+    MultiSeedSumCheckerStream,
+    PermutationCheckerStream,
+    SumCheckerStream,
+    ZipCheckerStream,
+)
 from repro.core.average_checker import check_average_aggregation
 from repro.core.minmax_checker import (
     check_max_aggregation,
@@ -69,7 +79,15 @@ __all__ = [
     "MultiSeedHashSumChecker",
     "MultiSeedSumChecker",
     "SumAggregationChecker",
+    "AverageCheckerStream",
+    "CheckerStream",
+    "CountCheckerStream",
+    "GroupByCheckerStream",
+    "MinMaxCheckerStream",
+    "MultiSeedSumCheckerStream",
+    "PermutationCheckerStream",
     "SumCheckerStream",
+    "ZipCheckerStream",
     "check_count_aggregation",
     "check_replicated",
     "check_sum_aggregation",

@@ -382,56 +382,15 @@ class MultiSeedSumChecker:
         return np.any(tables != 0, axis=(1, 2))
 
 
-class MultiSeedSumCheckerStream:
-    """Streaming facade over :class:`MultiSeedSumChecker`.
+def __getattr__(name: str):
+    # Back-compat: MultiSeedSumCheckerStream moved to repro.core.streams
+    # when the CheckerStream protocol was extracted.  Lazy import keeps the
+    # modules cycle-free.
+    if name == "MultiSeedSumCheckerStream":
+        from repro.core.streams import MultiSeedSumCheckerStream
 
-    The multi-seed analog of
-    :class:`~repro.core.sum_checker.SumCheckerStream`: feed input and
-    asserted-output chunks in arbitrary order, then settle once — all ``T``
-    seeds accumulate into one ``(T, iterations, d)`` difference tensor and
-    the distributed settle is a single packed collective.  Per-seed
-    verdicts equal ``T`` independent ``SumCheckerStream`` instances fed the
-    same chunks.
-    """
-
-    def __init__(self, checker: MultiSeedSumChecker):
-        self.checker = checker
-        cfg = checker.config
-        self._diff = np.zeros(
-            (checker.num_seeds, cfg.iterations, cfg.d), dtype=np.int64
-        )
-        self._settled = False
-
-    def feed_input(self, keys, values) -> None:
-        """Account a chunk of the operation's input stream."""
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._diff = self.checker.combine(
-            self._diff, self.checker.local_tables(keys, values)
-        )
-
-    def feed_output(self, keys, values) -> None:
-        """Account a chunk of the asserted output stream."""
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._diff = self.checker.difference(
-            self._diff, self.checker.local_tables(keys, values)
-        )
-
-    def settle(self, comm=None) -> CheckResult:
-        """Combine across PEs (if distributed) and produce per-seed verdicts.
-
-        Settles exactly once, mirroring ``SumCheckerStream.settle`` (the
-        distributed settle runs a metered reduction; silently re-running it
-        would double-count network traffic).
-        """
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._settled = True
-        per_seed = self.checker.per_seed_verdicts(self._diff, comm)
-        return self.checker._result(
-            per_seed, distributed=comm is not None, streaming=True
-        )
+        return MultiSeedSumCheckerStream
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def condense_side(side) -> list[tuple[np.ndarray, np.ndarray]]:

@@ -339,74 +339,16 @@ class SumAggregationChecker:
         return bool(np.any(table))
 
 
-class SumCheckerStream:
-    """Streaming facade over :class:`SumAggregationChecker`.
+def __getattr__(name: str):
+    # Back-compat: SumCheckerStream moved to repro.core.streams when the
+    # CheckerStream protocol was extracted (it now folds chunks into
+    # condensed per-key aggregates).  Lazy so the two modules stay free of
+    # an import cycle.
+    if name == "SumCheckerStream":
+        from repro.core.streams import SumCheckerStream
 
-    Thrill forwards elements to the checker *as they pass through* the
-    reduction (§7: "elements are forwarded to the checker as they are
-    passed to the reduction"); this class mirrors that integration style:
-    feed input pairs and output pairs in arbitrary chunk order, then settle
-    the verdict once.  The minireduction table is linear in the multiset of
-    pairs, so chunked accumulation is exact.
-    """
-
-    def __init__(self, checker: SumAggregationChecker):
-        self.checker = checker
-        cfg = checker.config
-        self._diff = np.zeros((cfg.iterations, cfg.d), dtype=np.int64)
-        self._settled = False
-
-    def feed_input(self, keys, values) -> None:
-        """Account a chunk of the operation's input stream."""
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._diff = self.checker.combine(
-            self._diff, self.checker.local_tables(keys, values)
-        )
-
-    def feed_output(self, keys, values) -> None:
-        """Account a chunk of the asserted output stream."""
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._diff = self.checker.difference(
-            self._diff, self.checker.local_tables(keys, values)
-        )
-
-    def settle(self, comm=None) -> CheckResult:
-        """Combine across PEs (if distributed) and produce the verdict.
-
-        A stream settles exactly once: the distributed settle runs a metered
-        reduction, so silently re-running it would double-count network
-        traffic (and a second verdict could never see new data anyway —
-        feeding after settle is already rejected).
-        """
-        if self._settled:
-            raise RuntimeError("stream already settled")
-        self._settled = True
-        if comm is None:
-            verdict = not np.any(self._diff)
-        else:
-
-            def wire_op(a: bytes, b: bytes) -> bytes:
-                return self.checker.pack(
-                    self.checker.combine(
-                        self.checker.unpack(a), self.checker.unpack(b)
-                    )
-                )
-
-            combined = comm.reduce(self.checker.pack(self._diff), wire_op, root=0)
-            verdict = None
-            if comm.rank == 0:
-                verdict = not np.any(self.checker.unpack(combined))
-            verdict = comm.bcast(verdict, root=0)
-        return CheckResult(
-            accepted=bool(verdict),
-            checker="sum-aggregation",
-            details={
-                "config": self.checker.config.label(),
-                "streaming": True,
-            },
-        )
+        return SumCheckerStream
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -77,6 +77,24 @@ def _global_offset(comm, local_count: int) -> int:
     return comm.exscan(local_count, op=lambda a, b: a + b, identity=0)
 
 
+def _global_offsets(comm, *local_counts: int) -> tuple[int, ...]:
+    """All columns' offsets in ONE tuple-valued exscan (not one each).
+
+    Mirrors :func:`repro.dataflow.exchange.global_offsets`; duplicated
+    here because the core layer must not import the dataflow layer.
+    """
+    counts = tuple(int(c) for c in local_counts)
+    if comm is None:
+        return tuple(0 for _ in counts)
+    return tuple(
+        comm.exscan(
+            counts,
+            op=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+            identity=tuple(0 for _ in counts),
+        )
+    )
+
+
 def check_zip(
     s1,
     s2,
@@ -103,9 +121,9 @@ def check_zip(
             "zipped component columns differ in length: "
             f"{zipped_first.size} vs {zipped_second.size}"
         )
-    off_s1 = _global_offset(comm, s1.size)
-    off_s2 = _global_offset(comm, s2.size)
-    off_z = _global_offset(comm, zipped_first.size)
+    off_s1, off_s2, off_z = _global_offsets(
+        comm, s1.size, s2.size, zipped_first.size
+    )
 
     detecting = []
     for j in range(iterations):

@@ -25,8 +25,18 @@ sequential semantics) and local numpy slices, mirroring how Thrill
 operations see their data.
 """
 
-from repro.dataflow.exchange import exchange_by_destination, global_offset
+from repro.dataflow.exchange import (
+    Exchange,
+    exchange_by_destination,
+    global_offset,
+    global_offsets,
+)
 from repro.dataflow.dia import DIA, KeyValueDIA
+from repro.dataflow.streaming import (
+    StreamingCheckedRun,
+    StreamingDIA,
+    StreamingKeyValueDIA,
+)
 from repro.dataflow.ops.map_filter import (
     filter_elements,
     map_elements,
@@ -57,10 +67,15 @@ from repro.dataflow.pipeline import (
 )
 
 __all__ = [
+    "Exchange",
     "exchange_by_destination",
     "global_offset",
+    "global_offsets",
     "DIA",
     "KeyValueDIA",
+    "StreamingCheckedRun",
+    "StreamingDIA",
+    "StreamingKeyValueDIA",
     "filter_elements",
     "map_elements",
     "map_pairs",

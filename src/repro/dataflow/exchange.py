@@ -12,6 +12,48 @@ def global_offset(comm, local_count: int) -> int:
     return comm.exscan(local_count, op=lambda a, b: a + b, identity=0)
 
 
+def global_offsets(comm, *local_counts: int) -> tuple[int, ...]:
+    """Offsets for several columns in ONE exscan (tuple payload).
+
+    Every column used to pay its own :func:`global_offset` collective —
+    windowed loops (one zip per window needs three offsets) multiplied
+    that α·log p latency by the column count.  A single tuple-valued
+    exscan delivers all of them at once.
+    """
+    counts = tuple(int(c) for c in local_counts)
+    if comm is None:
+        return tuple(0 for _ in counts)
+    return tuple(
+        comm.exscan(
+            counts,
+            op=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+            identity=tuple(0 for _ in counts),
+        )
+    )
+
+
+class Exchange:
+    """Reusable per-communicator exchange handle for windowed loops.
+
+    Holds the communicator once so repeated per-window routing and offset
+    queries go through one object — and through the batched
+    :func:`global_offsets` (one collective for any number of columns)
+    instead of one exscan per column per window.
+    """
+
+    def __init__(self, comm):
+        self.comm = comm
+
+    def offsets(self, *local_counts: int) -> tuple[int, ...]:
+        """All columns' global offsets in one collective."""
+        return global_offsets(self.comm, *local_counts)
+
+    def route(self, destinations: np.ndarray, *columns):
+        """Route rows to their destination PEs (see
+        :func:`exchange_by_destination`)."""
+        return exchange_by_destination(self.comm, destinations, *columns)
+
+
 def exchange_by_destination(comm, destinations: np.ndarray, *columns):
     """Route each row to the PE named by ``destinations`` (all-to-all).
 

@@ -10,15 +10,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dataflow.exchange import global_offset
+from repro.dataflow.exchange import global_offsets
 
 
 def zip_arrays(
-    comm, s1: np.ndarray, s2: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    comm, s1: np.ndarray, s2: np.ndarray, return_offsets: bool = False
+):
     """Return the local slice of ``Zip(S1, S2)`` as two aligned columns.
 
-    Output distribution follows S1's.  Raises if the global lengths differ.
+    Output distribution follows S1's.  Raises if the global lengths
+    differ.  With ``return_offsets`` the result is ``(first, second,
+    (off1, off2))`` — the PE's global starting offsets of both inputs (the
+    output shares S1's), which the zip checker needs and would otherwise
+    recompute with its own collectives.
     """
     s1 = np.asarray(s1).ravel()
     s2 = np.asarray(s2).ravel()
@@ -27,16 +31,21 @@ def zip_arrays(
             raise ValueError(
                 f"Zip requires equal lengths, got {s1.size} and {s2.size}"
             )
+        if return_offsets:
+            return s1.copy(), s2.copy(), (0, 0)
         return s1.copy(), s2.copy()
 
     p = comm.size
-    n1 = comm.allreduce(int(s1.size), op=lambda a, b: a + b)
-    n2 = comm.allreduce(int(s2.size), op=lambda a, b: a + b)
+    # Both totals in one allreduce, both offsets in one exscan (these used
+    # to be four collectives — redundant latency in windowed loops).
+    n1, n2 = comm.allreduce(
+        (int(s1.size), int(s2.size)),
+        op=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    )
     if n1 != n2:
         raise ValueError(f"Zip requires equal lengths, got {n1} and {n2}")
 
-    off1 = global_offset(comm, int(s1.size))
-    off2 = global_offset(comm, int(s2.size))
+    off1, off2 = global_offsets(comm, int(s1.size), int(s2.size))
     # Every PE learns the S1 index ranges (the target distribution).
     ranges = comm.allgather((off1, off1 + int(s1.size)))
 
@@ -52,4 +61,6 @@ def zip_arrays(
         )
     received = comm.alltoall(payloads)
     aligned = np.concatenate([received[src] for src in range(p)])
+    if return_offsets:
+        return s1.copy(), aligned, (off1, off2)
     return s1.copy(), aligned

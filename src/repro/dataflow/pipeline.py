@@ -44,7 +44,10 @@ class CheckedRunStats:
 
     ``checker_seconds`` covers the primary (1-seed) check;
     ``escalation_seconds`` the multi-seed re-check when an
-    :class:`AdaptiveCheckPolicy` triggered one.
+    :class:`AdaptiveCheckPolicy` triggered one.  Windowed streaming runs
+    accumulate one instance per window via :meth:`merge`: ``windows``
+    counts settled windows, ``elements_fed`` the stream elements consumed,
+    and ``overhead_ratio`` on the merged stats is the whole run's ratio.
     """
 
     operation_seconds: float
@@ -52,6 +55,8 @@ class CheckedRunStats:
     escalated: bool = False
     escalation_seconds: float = 0.0
     escalation_seeds: int = 0
+    windows: int = 0
+    elements_fed: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -60,6 +65,28 @@ class CheckedRunStats:
             + self.checker_seconds
             + self.escalation_seconds
         )
+
+    def merge(self, other: "CheckedRunStats") -> "CheckedRunStats":
+        """Accumulate another (window's) stats into a combined record."""
+        return CheckedRunStats(
+            operation_seconds=self.operation_seconds + other.operation_seconds,
+            checker_seconds=self.checker_seconds + other.checker_seconds,
+            escalated=self.escalated or other.escalated,
+            escalation_seconds=(
+                self.escalation_seconds + other.escalation_seconds
+            ),
+            escalation_seeds=self.escalation_seeds + other.escalation_seeds,
+            windows=self.windows + other.windows,
+            elements_fed=self.elements_fed + other.elements_fed,
+        )
+
+    @classmethod
+    def accumulated(cls, stats) -> "CheckedRunStats":
+        """Merge an iterable of per-window stats into one record."""
+        total = cls(operation_seconds=0.0, checker_seconds=0.0)
+        for s in stats:
+            total = total.merge(s)
+        return total
 
     @property
     def overhead_ratio(self) -> float:

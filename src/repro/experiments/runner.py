@@ -149,6 +149,38 @@ def _section_fig4() -> str:
     )
 
 
+def _section_streaming() -> str:
+    from repro.experiments.overhead import sum_checker_overhead_ns
+    from repro.experiments.scaling import modeled_streaming_windows
+
+    cfg = SumCheckConfig.parse("8x16 Tab64 m15")
+    # Measure the per-element local cost once; both seed rows are pure
+    # α–β model evaluations on top of it.
+    check_ns = sum_checker_overhead_ns(cfg, n_elements=200_000).ns_per_element
+    rows = []
+    for num_seeds in (1, 8):
+        for pt in modeled_streaming_windows(
+            cfg,
+            windows=(1, 4, 16, 64),
+            num_seeds=num_seeds,
+            check_local_ns=check_ns * num_seeds,
+        ):
+            rows.append(
+                (
+                    num_seeds,
+                    pt.windows,
+                    pt.wire_bits_total,
+                    f"{pt.settle_seconds * 1e3:.3f}",
+                )
+            )
+    return (
+        "## Streaming — window count vs checker wire volume (α–β model)\n\n"
+        + format_table(
+            ["seeds", "windows", "wire bits", "settle ms (p=1024)"], rows
+        )
+    )
+
+
 def _section_table1() -> str:
     rows = checker_volume_table(ns=(1_000, 10_000, 100_000), p=4)
     return "## Table 1 — checker communication volume\n\n" + format_table(
@@ -166,6 +198,7 @@ _SECTIONS = {
     "fig3": lambda args: _section_fig3(args.trials, args.accuracy_mode),
     "fig4": lambda args: _section_fig4(),
     "fig5": lambda args: _section_fig5(args.trials, args.accuracy_mode),
+    "streaming": lambda args: _section_streaming(),
 }
 
 

@@ -51,6 +51,32 @@ class ScalingPoint:
         return self.time_with / self.time_without
 
 
+@dataclass
+class StreamingWindowPoint:
+    """One row of the window-count vs wire-volume trade-off model.
+
+    A windowed streaming check settles once per window, so the wire
+    volume and the collective latency both scale linearly with the window
+    count while the local (per-element) checker work is invariant —
+    windows buy verdict granularity (an error surfaces after its window,
+    not after the whole job) at α·log p + β·table cost per window.
+    """
+
+    windows: int
+    p: int
+    wire_bits_total: int
+    local_seconds: float
+    settle_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.local_seconds + self.settle_seconds
+
+    @property
+    def wire_bits_per_window(self) -> int:
+        return self.wire_bits_total // max(self.windows, 1)
+
+
 def _run_reduction(
     ctx: Context, key_chunks, val_chunks, checker_cfg, seed, num_seeds=1
 ):
@@ -201,4 +227,47 @@ def modeled_weak_scaling(
             + cost.t_coll(table_bytes, p)
         )
         points.append(ScalingPoint(p, t_reduce, t_reduce + t_check))
+    return points
+
+
+def modeled_streaming_windows(
+    config: SumCheckConfig,
+    items_per_pe: int = 125_000,
+    p: int = 1024,
+    windows: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    cost_model: CostModel | None = None,
+    num_seeds: int = 1,
+    check_local_ns: float | None = None,
+    measure_elements: int = 200_000,
+    seed: int = 0,
+) -> list[StreamingWindowPoint]:
+    """Window count vs wire volume for the streaming checked reduction.
+
+    Each window settles its own packed minireduction table, so ``W``
+    windows put ``W · T · table_bits`` on the wire and pay ``W`` packed
+    collectives (``T_coll`` each), while the local condensed-checker work
+    over the ``items_per_pe`` elements is window-invariant (the stream
+    folds every chunk exactly once regardless of where the window
+    boundaries fall).  The α–β terms are the same §2 formulas the Fig 4
+    model uses; this is the dial a deployment turns to trade verdict
+    granularity (errors surface per window) against checker traffic.
+    """
+    cost = cost_model or CostModel()
+    if check_local_ns is None:
+        check_local_ns = sum_checker_overhead_ns(
+            config, n_elements=measure_elements, seed=seed
+        ).ns_per_element
+    table_bytes = (num_seeds * config.table_bits + 7) // 8
+    local_seconds = check_local_ns * 1e-9 * items_per_pe
+    points = []
+    for w in windows:
+        points.append(
+            StreamingWindowPoint(
+                windows=w,
+                p=p,
+                wire_bits_total=w * num_seeds * config.table_bits,
+                local_seconds=local_seconds,
+                settle_seconds=w * cost.t_coll(table_bytes, p),
+            )
+        )
     return points

@@ -170,6 +170,11 @@ def iter_bucket_blocks(
     # lane hasher (custom registrations) hash tiled key blocks per seed.
     hasher = family.multiseed_hasher(keys)
     affine = isinstance(hasher, AffineLaneHasher)
+    # Stacked (tabulation) hashers expose a fused gather+extraction kernel:
+    # bit groups (or the mod-d residue) come straight out of the
+    # cache-resident gather accumulator, so the full uint64 lane matrix is
+    # never materialized and never re-streamed once per group.
+    fused = getattr(hasher, "bucket_lanes", None)
     prefix = derive_seed_array(seeds, "bucket")
     if is_power_of_two(d):
         group_bits = ceil_log2(d)
@@ -209,6 +214,22 @@ def iter_bucket_blocks(
                         out=buckets[it].reshape(count, k),
                     )
                     it += 1
+                continue
+            if fused is not None:
+                groups = (
+                    min(groups_per_eval, iterations - it) if group_bits else 1
+                )
+                fused(
+                    fn_seeds,
+                    d,
+                    group_bits,
+                    groups,
+                    [
+                        buckets[it + g].reshape(count, k)
+                        for g in range(groups)
+                    ],
+                )
+                it += groups
                 continue
             if hasher is not None:
                 h = hasher.lanes(fn_seeds).reshape(count * k)

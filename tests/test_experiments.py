@@ -217,6 +217,27 @@ class TestScaling:
             for pt in points:
                 assert 1.0 < pt.ratio < 1.25
 
+    def test_modeled_streaming_windows_row(self):
+        """Wire volume and settle latency scale linearly with windows;
+        the local condensed-checker work is window-invariant."""
+        from repro.experiments.scaling import modeled_streaming_windows
+
+        cfg = SumCheckConfig.parse("8x16 m15")
+        points = modeled_streaming_windows(
+            cfg, windows=(1, 4, 16), check_local_ns=5.0, num_seeds=3
+        )
+        assert [pt.windows for pt in points] == [1, 4, 16]
+        base = points[0]
+        assert base.wire_bits_total == 3 * cfg.table_bits
+        for pt in points:
+            assert pt.wire_bits_total == pt.windows * base.wire_bits_total
+            assert pt.settle_seconds == pytest.approx(
+                pt.windows * base.settle_seconds
+            )
+            assert pt.local_seconds == base.local_seconds
+            assert pt.wire_bits_per_window == base.wire_bits_total
+            assert pt.total_seconds > pt.settle_seconds
+
 
 class TestVolume:
     def test_volume_flat_in_n(self):
