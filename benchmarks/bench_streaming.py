@@ -6,17 +6,22 @@ accumulation, one settle) must stay within 1.5× of the batch checker's
 per-element cost at n = 10^6.  Three sections, written to
 ``BENCH_streaming.json``:
 
-1. **Sum stream** (gated): ``SumCheckerStream`` fed ``n / 64k`` input
-   chunks + the asserted output, settled once, vs
+1. **Sum stream** (gated ≤1.5×): ``SumCheckerStream`` fed ``n / 64k``
+   input chunks + the asserted output, settled once, vs
    ``SumAggregationChecker.check_local`` on the materialized arrays.
    Verdicts asserted identical.
-2. **Multi-seed stream** (reported): the same comparison at T = 8 seeds
-   through ``MultiSeedSumCheckerStream`` vs the batched multi-seed
-   checker — both ride condensed aggregates, so the gap is pure
-   chunked-condensation overhead.
+2. **Multi-seed stream** (gated ≤1.15×): the same comparison at T = 8
+   seeds through ``MultiSeedSumCheckerStream`` (default ``fused="auto"``
+   — each side picks chunk-at-a-time table folding or condensed
+   aggregates from its observed duplicate ratio) vs the batched
+   multi-seed checker; the forced ``fused=True`` time is reported
+   alongside so the adaptive choice stays observable.
 3. **Windowed DIA** (reported): ``StreamingKeyValueDIA.
    reduce_by_key_checked`` (whole pipeline, chunked, windowed settle)
    vs ``checked_reduce_by_key`` on the materialized input.
+4. **All-unique StreamedKV** (reported): the adaptive-compaction
+   micro-bench — folding disjoint-key chunks must defer merges instead
+   of re-copying every element O(log chunks) times.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks everything and skips the artifact/gate.
 """
@@ -31,7 +36,11 @@ from conftest import best_of, run_once, smoke_mode, write_artifact
 
 from repro.core.multiseed import MultiSeedSumChecker
 from repro.core.params import SumCheckConfig
-from repro.core.streams import MultiSeedSumCheckerStream, SumCheckerStream
+from repro.core.streams import (
+    MultiSeedSumCheckerStream,
+    StreamedKV,
+    SumCheckerStream,
+)
 from repro.core.sum_checker import SumAggregationChecker
 from repro.dataflow.pipeline import checked_reduce_by_key
 from repro.dataflow.streaming import StreamingKeyValueDIA
@@ -43,6 +52,7 @@ _CONFIG = SumCheckConfig.parse("8x16 Tab64 m15")
 _CHUNK = 1 << 16
 _NUM_SEEDS = 8
 _MAX_STREAM_RATIO = 1.5
+_MAX_MULTISEED_RATIO = 1.15
 
 
 def _chunks(keys, values, chunk):
@@ -99,23 +109,28 @@ def _multiseed_cell(keys, values, out_k, out_v, chunks) -> dict:
     seeds = derive_seed_array(0x57E, "ms", np.arange(_NUM_SEEDS, dtype=np.uint64))
     checker = MultiSeedSumChecker(_CONFIG, seeds)
     batch = checker.check_local((keys, values), (out_k, out_v))
-    streamed = _stream_once(
-        MultiSeedSumCheckerStream, checker, chunks, out_k, out_v
-    )
-    assert (
-        batch.details["per_seed_accepted"]
-        == streamed.details["per_seed_accepted"]
-    )
+
+    def stream_once(fused):
+        stream = MultiSeedSumCheckerStream(checker, fused=fused)
+        for k, v in chunks:
+            stream.feed_input(k, v)
+        stream.feed_output(out_k, out_v)
+        return stream
+
+    for fused in ("auto", True, False):
+        settled = stream_once(fused).settle()
+        assert (
+            batch.details["per_seed_accepted"]
+            == settled.details["per_seed_accepted"]
+        ), f"fused={fused}"
+    probe = stream_once("auto")
+    modes = {"input": probe._input.mode, "output": probe._output.mode}
 
     batch_s = best_of(
-        lambda: checker.check_local((keys, values), (out_k, out_v)), 2
+        lambda: checker.check_local((keys, values), (out_k, out_v)), 3
     )
-    stream_s = best_of(
-        lambda: _stream_once(
-            MultiSeedSumCheckerStream, checker, chunks, out_k, out_v
-        ),
-        2,
-    )
+    stream_s = best_of(lambda: stream_once("auto").settle(), 3)
+    fused_s = best_of(lambda: stream_once(True).settle(), 2)
     n = keys.size
     return {
         "section": "multiseed-stream",
@@ -123,9 +138,41 @@ def _multiseed_cell(keys, values, out_k, out_v, chunks) -> dict:
         "num_seeds": _NUM_SEEDS,
         "elements": int(n),
         "chunk": _CHUNK,
+        "auto_modes": modes,
         "batch_seconds": batch_s,
         "stream_seconds": stream_s,
+        "fused_stream_seconds": fused_s,
         "stream_over_batch": stream_s / batch_s,
+        "fused_over_batch": fused_s / batch_s,
+    }
+
+
+def _streamed_kv_cell(n) -> dict:
+    """All-unique feed micro-bench: adaptive compaction must defer merges."""
+    keys = np.arange(n, dtype=np.uint64)
+    values = np.ones(n, dtype=np.int64)
+    chunks = _chunks(keys, values, _CHUNK)
+
+    def feed():
+        kv = StreamedKV()
+        for k, v in chunks:
+            kv.fold(k, v)
+        return kv
+
+    kv = feed()
+    feed_s = best_of(lambda: feed(), 2)
+    settle_s = best_of(lambda: feed().merged(), 2)
+    return {
+        "section": "streamedkv-all-unique",
+        "elements": int(n),
+        "chunk": _CHUNK,
+        "chunks": len(chunks),
+        "feed_seconds": feed_s,
+        "feed_plus_merge_seconds": settle_s,
+        "compactions": kv.compactions,
+        "deferred_segments": len(kv._segments),
+        "final_merge_factor": kv._merge_factor,
+        "feed_ns_per_element": feed_s / n * 1e9,
     }
 
 
@@ -168,6 +215,7 @@ def test_streaming_throughput(benchmark, overhead_elements):
         _sum_cell(keys, values, out_k, out_v, chunks, benchmark=benchmark),
         _multiseed_cell(keys, values, out_k, out_v, chunks),
         _windowed_cell(keys, values, chunks),
+        _streamed_kv_cell(n),
     ]
 
     write_artifact(
@@ -175,6 +223,7 @@ def test_streaming_throughput(benchmark, overhead_elements):
         {
             "primary": "sum-stream",
             "max_allowed_stream_over_batch": _MAX_STREAM_RATIO,
+            "max_allowed_multiseed_stream_over_batch": _MAX_MULTISEED_RATIO,
             "cells": cells,
         },
     )
@@ -184,13 +233,25 @@ def test_streaming_throughput(benchmark, overhead_elements):
     )
     print()
     for cell in cells:
-        print(
-            f"{cell['section']}: stream/batch = "
-            f"{cell['stream_over_batch']:.3f}"
-        )
+        if "stream_over_batch" in cell:
+            print(
+                f"{cell['section']}: stream/batch = "
+                f"{cell['stream_over_batch']:.3f}"
+            )
+        else:
+            print(
+                f"{cell['section']}: {cell['feed_ns_per_element']:.0f} "
+                f"ns/element, {cell['compactions']} compactions"
+            )
     if not smoke_mode():
         ratio = cells[0]["stream_over_batch"]
         assert ratio <= _MAX_STREAM_RATIO, (
             f"streaming sum checker costs {ratio:.2f}x the batch path per "
             f"element (allowed {_MAX_STREAM_RATIO}x at n={n}, chunk={_CHUNK})"
+        )
+        ms_ratio = cells[1]["stream_over_batch"]
+        assert ms_ratio <= _MAX_MULTISEED_RATIO, (
+            f"multi-seed stream costs {ms_ratio:.2f}x the batch path per "
+            f"element (allowed {_MAX_MULTISEED_RATIO}x at n={n}, "
+            f"chunk={_CHUNK}, T={_NUM_SEEDS})"
         )

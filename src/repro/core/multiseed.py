@@ -40,15 +40,17 @@ from repro.core.sum_checker import (
     _CHUNK_BITS,
     _coerce_keys,
     _coerce_values,
-    _max_magnitude,
+    _magnitude_bound,
     _scatter_add_mod,
     draw_moduli,
     pack_residues,
     unpack_residues,
 )
 from repro.core.permutation_checker import _as_sequences, wide_weighted_sum
-from repro.hashing.bitgroups import iter_bucket_blocks
+from repro.hashing.bitgroups import iter_bucket_blocks, iter_superbucket_blocks
 from repro.hashing.families import get_family, hash_lanes
+from repro.kernels import get_kernels, seeds_per_block
+from repro.util.bits import ceil_log2, is_power_of_two
 from repro.util.rng import derive_seed_array, splitmix64_array
 
 #: Lane-matrix elements (seed lanes × unique keys) per batched hash pass;
@@ -131,7 +133,10 @@ def condense_kv(keys, values, operator: str = "+") -> CondensedKV:
     k = unique_keys.size
     agg = agg_float = agg_xor = None
     if keys.size:
-        bound = keys.size * max(_max_magnitude(values), 1)
+        # Σ|v| bounds every per-key aggregate and every partial bucket sum
+        # (any of them is a subset sum), so it decides both exactness
+        # guards — far tighter than the historical n·max|v| product.
+        bound = _magnitude_bound(values)
         if operator == "xor":
             agg_xor = np.zeros(k, dtype=np.uint64)
             np.bitwise_xor.at(agg_xor, inverse, values.view(np.uint64))
@@ -239,6 +244,14 @@ class MultiSeedSumChecker:
         values = condensed.values
         inverse = condensed.inverse
 
+        if agg_float is not None and is_power_of_two(cfg.d):
+            # Super-group fast path: one weighted bincount covers up to
+            # m adjacent iterations at once (16 super-bits), each lane's
+            # per-iteration counts falling out as cube marginals.
+            self._accumulate_supergroups(condensed, tables)
+            return tables
+
+        kernels = get_kernels()
         for start, count, buckets in iter_bucket_blocks(
             self._family, cfg.d, cfg.iterations, self._bucket_seeds,
             condensed.unique_keys, self.chunk_elements,
@@ -250,8 +263,8 @@ class MultiSeedSumChecker:
                     if agg_float is not None:
                         # Fast path: raw weighted bincount per lane, one
                         # deferred mod at the end (exact under `bound`).
-                        sums = np.bincount(
-                            block[j], weights=agg_float, minlength=cfg.d
+                        sums = kernels.weighted_bincount(
+                            block[j], agg_float, cfg.d
                         )
                         tables[t, j] = sums.astype(np.int64) % int(
                             self.moduli[t, j]
@@ -267,6 +280,45 @@ class MultiSeedSumChecker:
                             tables[t, j], block[j][inverse], values % r, r
                         )
         return tables
+
+    def _accumulate_supergroups(
+        self, condensed: CondensedKV, tables: np.ndarray
+    ) -> None:
+        """Accumulate the ``agg_float`` path via super-group bincounts.
+
+        Up to ``m`` adjacent bit-groups of one hash evaluation are packed
+        into a single index (:func:`iter_superbucket_blocks`), so *one*
+        ``d**m``-bin weighted bincount per (lane, super-group) replaces
+        ``m`` ``d``-bin passes over the keys.  Iteration ``j0 + q``'s
+        bucket sums are the cube marginal over every other packed axis —
+        exact, because every marginal partial sum is a subset sum of the
+        values and therefore bounded by the same Σ|v| < 2^52 guard that
+        selected ``agg_float``; the per-iteration residues are
+        bit-identical to the per-group path.
+        """
+        cfg = self.config
+        kernels = get_kernels()
+        agg_float = condensed.agg_float
+        group_bits = ceil_log2(cfg.d)
+        for start, count, supers in iter_superbucket_blocks(
+            self._family, cfg.d, cfg.iterations, self._bucket_seeds,
+            condensed.unique_keys, self.chunk_elements,
+        ):
+            for j0, m, idx in supers:
+                bins = 1 << (m * group_bits)
+                for c in range(count):
+                    t = start + c
+                    sums = kernels.weighted_bincount(idx[c], agg_float, bins)
+                    # C-order reshape: axis a holds the bits of group
+                    # j0 + (m-1-a), so iteration j0+q sums out all axes
+                    # except m-1-q.
+                    cube = sums.reshape((cfg.d,) * m)
+                    for q in range(m):
+                        axes = tuple(a for a in range(m) if a != m - 1 - q)
+                        marg = cube.sum(axis=axes) if axes else cube
+                        tables[t, j0 + q] = marg.astype(np.int64) % int(
+                            self.moduli[t, j0 + q]
+                        )
 
     # -- table algebra -------------------------------------------------------
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -472,7 +524,7 @@ class MultiSeedHashSumChecker:
             if k == 0:
                 continue
             hasher = self._family.multiseed_hasher(uniques)
-            per_block = max(1, self.chunk_elements // k)
+            per_block = seeds_per_block(self.chunk_elements, k)
             for start in range(0, self.num_seeds, per_block):
                 count = min(per_block, self.num_seeds - start)
                 prefix = self._prefix[start : start + count]

@@ -61,9 +61,10 @@ from repro.core.sum_checker import (
     SumAggregationChecker,
     _coerce_keys,
     _coerce_values,
-    _max_magnitude,
+    _magnitude_bound,
 )
 from repro.core.zip_checker import MERSENNE31, positional_fingerprint
+from repro.kernels import get_kernels
 from repro.util.rng import derive_seed, derive_seed_array
 
 _DEFAULT_CONFIG = SumCheckConfig(iterations=8, d=16, rhat=1 << 15)
@@ -126,15 +127,38 @@ def _explode_wide_sums(
     return np.array(out_k, dtype=np.uint64), np.array(out_v, dtype=np.int64)
 
 
+#: StreamedKV compaction tuning.  A merge factor ``f`` merges while the
+#: previous segment holds at most ``f×`` the newest segment's keys, so
+#: higher factors merge more eagerly.  The factor adapts to the observed
+#: duplicate ratio: merges that barely shrink (mostly-unique feeds, where
+#: compaction is pure data movement) halve it down to the floor, merges
+#: that collapse heavily (duplicate-heavy feeds, where early compaction
+#: keeps later merges small) double it back up to the cap.
+_MERGE_FACTOR_START = 2.0
+_MERGE_FACTOR_MIN = 0.125
+_MERGE_FACTOR_MAX = 4.0
+_SHRINK_LOWER = 0.9  # merged/unmerged size above this → lower the factor
+_SHRINK_RAISE = 0.6  # ... below this → raise it
+#: Deferred-merge backstop: past this many segments, one concat-all
+#: compaction bounds both memory overhead and the settle-time merge cost.
+_MAX_SEGMENTS = 64
+
+
 class StreamedKV:
     """Streaming fold of :func:`condense_kv`: exact per-key aggregates.
 
     Chunks are condensed on arrival and compacted into geometrically
-    decreasing segments (merge whenever the previous segment is no more
-    than twice the size of the last), so total memory stays O(unique
-    keys) — segment sizes are geometric, their sum is at most twice the
+    decreasing segments, so total memory stays O(unique keys) — segment
+    sizes are geometric, their sum is at most a small multiple of the
     largest, and no segment exceeds the global unique-key count — while
-    total merge work stays O(n log(chunks)).
+    total merge work stays O(n log(chunks)).  The merge threshold adapts
+    to the observed duplicate ratio (see :data:`_MERGE_FACTOR_START`):
+    all-unique feeds, where merging never shrinks anything, defer
+    compaction (up to :data:`_MAX_SEGMENTS` segments, then one concat-all
+    pass) instead of re-merging every element O(log chunks) times.
+    Segment merges run on the active kernel tier
+    (:mod:`repro.kernels`; the numba tier's two-pointer merge avoids the
+    concat + sort of the numpy path).
 
     Exactness mirrors the batch condensation's magnitude guards: per-chunk
     aggregation uses the float64 bincount fast path when provably exact,
@@ -150,6 +174,8 @@ class StreamedKV:
         self._segments: list[tuple[np.ndarray, np.ndarray]] = []
         self.elements = 0
         self._bound = 0  # conservative bound on any per-key |aggregate|
+        self._merge_factor = _MERGE_FACTOR_START
+        self.compactions = 0  # segment merges performed (observability)
 
     def fold(self, keys, values) -> None:
         """Fold one (keys, values) chunk into the condensed state."""
@@ -167,7 +193,10 @@ class StreamedKV:
             agg: np.ndarray = np.zeros(uk.size, dtype=np.uint64)
             np.bitwise_xor.at(agg, inv, values.view(np.uint64))
         else:
-            chunk_bound = int(keys.size) * max(_max_magnitude(values), 1)
+            # Σ|v| of the chunk bounds every per-key contribution; the
+            # running total then bounds any per-key aggregate of the whole
+            # stream (each is a subset sum of all folded values).
+            chunk_bound = _magnitude_bound(values)
             self._bound += chunk_bound
             if self._bound >= _INT64_LIMIT:
                 # A running per-key sum could no longer be proven to fit
@@ -190,22 +219,44 @@ class StreamedKV:
     def _merge(
         self, a: tuple[np.ndarray, np.ndarray], b: tuple[np.ndarray, np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray]:
-        keys = np.concatenate([a[0], b[0]])
-        aggs = np.concatenate([a[1], b[1]])
-        uk, inv = np.unique(keys, return_inverse=True)
-        out = np.zeros(uk.size, dtype=aggs.dtype)
-        if self.operator == "xor":
-            np.bitwise_xor.at(out, inv, aggs)
-        else:
+        if a[1].dtype == object:
+            # Python-int promoted regime: numpy scatter keeps exact
+            # arbitrary-precision sums (both segments promote together).
+            keys = np.concatenate([a[0], b[0]])
+            aggs = np.concatenate([a[1], b[1]])
+            uk, inv = np.unique(keys, return_inverse=True)
+            out = np.zeros(uk.size, dtype=object)
             np.add.at(out, inv, aggs)
-        return uk, out
+            return uk, out
+        kernels = get_kernels()
+        if self.operator == "xor":
+            return kernels.merge_sorted_unique_xor(a[0], a[1], b[0], b[1])
+        return kernels.merge_sorted_unique_sum(a[0], a[1], b[0], b[1])
 
     def _compact(self) -> None:
         segs = self._segments
-        while len(segs) > 1 and segs[-2][0].size <= 2 * segs[-1][0].size:
+        if len(segs) > _MAX_SEGMENTS:
+            self.merged()
+            return
+        while (
+            len(segs) > 1
+            and segs[-2][0].size <= self._merge_factor * segs[-1][0].size
+        ):
             b = segs.pop()
             a = segs.pop()
-            segs.append(self._merge(a, b))
+            before = a[0].size + b[0].size
+            merged = self._merge(a, b)
+            self.compactions += 1
+            shrink = merged[0].size / before if before else 1.0
+            if shrink > _SHRINK_LOWER:
+                self._merge_factor = max(
+                    self._merge_factor / 2, _MERGE_FACTOR_MIN
+                )
+            elif shrink < _SHRINK_RAISE:
+                self._merge_factor = min(
+                    self._merge_factor * 2, _MERGE_FACTOR_MAX
+                )
+            segs.append(merged)
 
     @property
     def unique_count(self) -> int:
@@ -213,10 +264,20 @@ class StreamedKV:
 
     def merged(self) -> tuple[np.ndarray, np.ndarray]:
         """All state as one (unique keys, exact aggregates) pair."""
-        while len(self._segments) > 1:
-            b = self._segments.pop()
-            a = self._segments.pop()
-            self._segments.append(self._merge(a, b))
+        if len(self._segments) > 1:
+            # One concat-all + single scatter, not pairwise merges: with
+            # deferred compaction there can be tens of segments, and the
+            # pairwise chain would re-touch the big segments once each.
+            keys = np.concatenate([k for k, _ in self._segments])
+            aggs = np.concatenate([a for _, a in self._segments])
+            uk, inv = np.unique(keys, return_inverse=True)
+            out = np.zeros(uk.size, dtype=aggs.dtype)
+            if self.operator == "xor":
+                np.bitwise_xor.at(out, inv, aggs)
+            else:
+                np.add.at(out, inv, aggs)
+            self._segments = [(uk, out)]
+            self.compactions += 1
         if not self._segments:
             empty_vals = np.zeros(
                 0, dtype=np.uint64 if self.operator == "xor" else np.int64
@@ -238,9 +299,31 @@ class StreamedKV:
 
         This is what multi-seed evaluation and adaptive escalation consume
         — any number of seed lanes run against it without re-reading a
-        single chunk.
+        single chunk.  Built directly from the merged segments (they are
+        already sorted-unique with exact aggregates), so settle pays no
+        second ``np.unique`` pass; field-for-field identical to
+        ``condense_kv(*self.pairs(), self.operator)``.
         """
-        return condense_kv(*self.pairs(), self.operator)
+        keys, aggs = self.merged()
+        identity = np.arange(keys.size, dtype=np.intp)
+        if self.operator == "xor":
+            return CondensedKV(
+                keys, identity, aggs.view(np.int64), None, None,
+                aggs if keys.size else None,
+            )
+        if aggs.dtype == object:
+            # Wide (beyond-int64) sums need the int64-pair explosion;
+            # route through the generic batch condensation.
+            return condense_kv(*self.pairs(), self.operator)
+        agg = agg_float = None
+        if keys.size:
+            bound = _magnitude_bound(aggs)
+            if bound < (1 << _CHUNK_BITS):
+                agg = aggs
+                agg_float = aggs.astype(np.float64)
+            elif bound < _INT64_LIMIT:
+                agg = aggs
+        return CondensedKV(keys, identity, aggs, agg, agg_float, None)
 
 
 class StreamedSide:
@@ -408,25 +491,231 @@ class SumCheckerStream(_CondensingSumStream):
         )
 
 
-class MultiSeedSumCheckerStream(_CondensingSumStream):
-    """Streaming facade over :class:`MultiSeedSumChecker`.
+#: Chunk unique-key ratio at or above which the ``fused="auto"``
+#: multi-seed stream folds each chunk's lane tables immediately instead
+#: of retaining condensed per-key aggregates.  Mostly-unique feeds gain
+#: nothing from condensation (the settle-time hash pass would touch as
+#: many keys as the chunks held) but pay its segment merges; duplicate-
+#: heavy feeds (e.g. Zipf keys) hash far fewer keys by condensing first.
+_FUSED_UNIQUE_RATIO = 0.9
+# Condense-mode sides coalesce raw chunks to this many elements before
+# folding them into the StreamedKV: one sort per ~2^18 elements instead
+# of one per chunk, and proportionally fewer segment merges.  Scratch
+# stays bounded by the coalesce budget plus one chunk.
+_CONDENSE_COALESCE = 1 << 18
 
-    The multi-seed analog of :class:`SumCheckerStream`: all ``T`` seeds
-    ride the same condensed per-key aggregates — chunks are condensed
-    once, the ``(T, iterations, d)`` tables are evaluated once at settle,
-    and the distributed settle is a single packed collective.  Per-seed
-    verdicts equal ``T`` independent ``SumCheckerStream`` instances fed
-    the same chunks.
+
+def _pairs_condensed(keys, values, operator: str) -> CondensedKV:
+    """A :class:`CondensedKV` view of raw pairs, without deduplication.
+
+    Every consumer of a condensation is linear in the (key, value)
+    multiset — weighted bincounts, chunked mod-r scatter-adds, xor
+    scatters — so presenting the raw pairs as "unique" keys with their
+    own values as aggregates yields bit-identical lane tables while
+    skipping the per-chunk sort.  The magnitude guards mirror
+    :func:`condense_kv` exactly (Σ|v| is the same for raw and condensed
+    pairs), so the same exactness path is selected.  Only valid where a
+    condensation is consumed as a multiset (table evaluation); the
+    ``unique_keys`` field may contain duplicates.
+    """
+    inverse = np.arange(keys.size, dtype=np.intp)
+    agg = agg_float = agg_xor = None
+    if keys.size:
+        bound = _magnitude_bound(values)
+        if operator == "xor":
+            agg_xor = values.view(np.uint64)
+        elif bound < (1 << _CHUNK_BITS):
+            agg = values
+            agg_float = values.astype(np.float64)
+        elif bound < (1 << 63):
+            agg = values
+    return CondensedKV(keys, inverse, values, agg, agg_float, agg_xor)
+
+
+class _FusedSumSide:
+    """One side of :class:`MultiSeedSumCheckerStream`.
+
+    ``mode`` is ``"condense"`` (retain a :class:`StreamedKV`; all lane
+    tables evaluate once at settle against the global condensation),
+    ``"fused"`` (fold each chunk's ``(T, iterations, d)`` tables into a
+    running tensor as the chunk arrives — table accumulation is a mod-r
+    homomorphism, so the combined tables are bit-identical to the batch
+    tables of the concatenated feed — and retain nothing per-key), or
+    ``"auto"`` (decide per side from the first chunk's unique-key
+    ratio, :data:`_FUSED_UNIQUE_RATIO`).
+
+    Condense-mode chunks are coalesced to :data:`_CONDENSE_COALESCE`
+    elements before folding (fewer sorts and segment merges, identical
+    aggregates); fused-mode chunks skip condensation entirely and fold
+    their lane tables straight from the raw pairs.
     """
 
-    def __init__(self, checker: MultiSeedSumChecker):
-        super().__init__(checker.operator)
+    def __init__(self, checker: MultiSeedSumChecker, mode: str):
         self.checker = checker
+        self.mode = mode
+        self.kv = StreamedKV(checker.operator)
+        self.tables: np.ndarray | None = None
+        self.elements = 0
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pending_elements = 0
+        # Fused mode: whether per-chunk condensation still pays (set from
+        # the first fused chunk's unique ratio; None = not yet probed).
+        self._fused_condense: bool | None = None
+
+    def _queue(self, keys, values) -> None:
+        """Coalesce condense-mode chunks before they hit the StreamedKV.
+
+        Folding every 64k-element chunk individually pays one sort plus a
+        segment-merge chain per chunk; queueing up to
+        :data:`_CONDENSE_COALESCE` elements first amortizes both.  The
+        per-key aggregates are order- and grouping-insensitive, so the
+        settled condensation is bit-identical either way.
+        """
+        self._pending.append((keys, values))
+        self._pending_elements += int(keys.size)
+        if self._pending_elements >= _CONDENSE_COALESCE:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        if len(self._pending) == 1:
+            keys, values = self._pending[0]
+        else:
+            keys = np.concatenate([k for k, _ in self._pending])
+            values = np.concatenate([v for _, v in self._pending])
+        self._pending.clear()
+        self._pending_elements = 0
+        self.kv.fold(keys, values)
+
+    def fold(self, keys, values) -> None:
+        keys = _coerce_keys(keys)
+        values = _coerce_values(values)
+        if keys.size != values.size:
+            raise ValueError(
+                f"keys and values differ in length: {keys.size} vs {values.size}"
+            )
+        if keys.size == 0:
+            return
+        self.elements += int(keys.size)
+        if self.mode == "condense":
+            self._queue(keys, values)
+            return
+        if self.mode == "auto":
+            chunk = condense_kv(keys, values, self.checker.operator)
+            if chunk.unique_keys.size < _FUSED_UNIQUE_RATIO * keys.size:
+                self.mode = "condense"
+                # Reuse the probe's sort: the condensed (unique keys,
+                # exact aggregates) pair is the same multiset as the raw
+                # chunk, so queue it instead of re-condensing.  The
+                # beyond-int64 regime leaves ``agg`` unset — queue raw.
+                if self.checker.operator == "xor":
+                    self._queue(
+                        chunk.unique_keys, chunk.agg_xor.view(np.int64)
+                    )
+                elif chunk.agg is not None:
+                    self._queue(chunk.unique_keys, chunk.agg)
+                else:
+                    self._queue(keys, values)
+                return
+            self.mode = "fused"
+            self._fused_condense = False
+        elif self._fused_condense is not False:
+            # Forced-fused sides probe their first chunk: on
+            # duplicate-heavy feeds condensing before the hash pass still
+            # pays (fewer keys to hash per lane), on mostly-unique feeds
+            # it is wasted sorting.
+            chunk = condense_kv(keys, values, self.checker.operator)
+            if self._fused_condense is None:
+                self._fused_condense = (
+                    chunk.unique_keys.size < _FUSED_UNIQUE_RATIO * keys.size
+                )
+        else:
+            # Mostly-unique fused feed: consume the chunk as a multiset
+            # and skip the per-chunk sort — lane tables are linear in the
+            # pairs and the exactness guards only depend on Σ|v| (see
+            # :func:`_pairs_condensed`).
+            chunk = _pairs_condensed(keys, values, self.checker.operator)
+        tables = self.checker.local_tables_condensed(chunk)
+        self.tables = (
+            tables
+            if self.tables is None
+            else self.checker.combine(self.tables, tables)
+        )
+
+    def settle_tables(self) -> np.ndarray:
+        """The side's full ``(T, iterations, d)`` tensor at settle."""
+        self._flush()
+        base = self.checker.local_tables_condensed(self.kv.condensed())
+        if self.tables is None:
+            return base
+        # Fused mode leaves kv empty, so `base` is the ⊕-identity (all
+        # zeros) and combining it back is a no-op on the residues.
+        return self.checker.combine(self.tables, base)
+
+    def condensed(self) -> CondensedKV:
+        if self.tables is not None:
+            raise RuntimeError(
+                "fused stream side folded chunks into lane tables and "
+                "retains no per-key aggregates; construct the stream "
+                "with fused=False to keep them"
+            )
+        self._flush()
+        return self.kv.condensed()
+
+
+class MultiSeedSumCheckerStream(CheckerStream):
+    """Streaming facade over :class:`MultiSeedSumChecker`.
+
+    The multi-seed analog of :class:`SumCheckerStream`: by default each
+    side adapts to its feed (``fused="auto"``) — duplicate-heavy sides
+    retain condensed per-key aggregates and evaluate every ``T ×
+    iterations`` lane once at settle; mostly-unique sides fold each
+    chunk's lane tables as the chunk arrives and retain nothing per-key
+    (no second condensed-keys traversal at settle).  ``fused=True``
+    forces chunk-at-a-time table folding, ``fused=False`` the legacy
+    always-condense behaviour (required by consumers of
+    :meth:`condensed_input` / :meth:`condensed_output`, e.g. adaptive
+    escalation).  Either way the distributed settle is a single packed
+    collective, and per-seed verdicts are bit-identical to ``T``
+    independent ``SumCheckerStream`` instances fed the same chunks.
+    """
+
+    def __init__(self, checker: MultiSeedSumChecker, fused="auto"):
+        super().__init__()
+        if fused not in ("auto", True, False):
+            raise ValueError(
+                f"fused must be 'auto', True or False, got {fused!r}"
+            )
+        mode = {"auto": "auto", True: "fused", False: "condense"}[fused]
+        self.checker = checker
+        self._input = _FusedSumSide(checker, mode)
+        self._output = _FusedSumSide(checker, mode)
+
+    def feed_input(self, keys, values) -> None:
+        """Account a chunk of the operation's input stream."""
+        self._ensure_open()
+        self._input.fold(keys, values)
+
+    def feed_output(self, keys, values) -> None:
+        """Account a chunk of the asserted output stream."""
+        self._ensure_open()
+        self._output.fold(keys, values)
+
+    @property
+    def elements_fed(self) -> int:
+        """Input-side elements folded so far (the stream's consumption)."""
+        return self._input.elements
+
+    def condensed_input(self) -> CondensedKV:
+        return self._input.condensed()
+
+    def condensed_output(self) -> CondensedKV:
+        return self._output.condensed()
 
     def _settle(self, comm) -> CheckResult:
         diff = self.checker.difference(
-            self.checker.local_tables_condensed(self._input.condensed()),
-            self.checker.local_tables_condensed(self._output.condensed()),
+            self._input.settle_tables(), self._output.settle_tables()
         )
         per_seed = self.checker.per_seed_verdicts(diff, comm)
         return self.checker._result(

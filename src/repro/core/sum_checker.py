@@ -32,6 +32,7 @@ from repro.core.base import CheckResult
 from repro.core.params import SumCheckConfig
 from repro.hashing.bitgroups import BucketAssigner
 from repro.hashing.families import get_family
+from repro.kernels import get_kernels
 from repro.util.rng import (
     derive_seed,
     derive_seed_array,
@@ -83,29 +84,45 @@ def _max_magnitude(values: np.ndarray) -> int:
     return max(-int(values.min()), int(values.max()), 0)
 
 
+def _magnitude_bound(values: np.ndarray) -> int:
+    """Upper bound on ``|Σ subset|`` over any subset of ``values``: Σ|v|.
+
+    Every quantity the checkers accumulate — a bucket sum, a per-key
+    aggregate, any partial sum inside a bincount — is a subset sum of the
+    value array, so Σ|v| bounds them all.  It is dramatically tighter
+    than the historical ``n · max|v|`` (a 10^6-element workload of ±10^6
+    values has Σ|v| ≈ 5·10^11 < 2^52 but ``n·max`` ≈ 10^12 — the loose
+    bound knocked streamed condensations off the exact float64 bincount
+    fast path).  The float64 total is inflated by the pairwise-summation
+    error margin so the result is always a true upper bound; near the
+    int64 extreme, where ``np.abs`` itself would overflow, it falls back
+    to the old conservative product.
+    """
+    if values.size == 0:
+        return 0
+    m = _max_magnitude(values)
+    if m == 0:
+        return 0
+    if m >= (1 << 62):
+        return values.size * m
+    total = float(np.abs(values).sum(dtype=np.float64))
+    return int(total * (1.0 + 2.0**-30)) + 1
+
+
 def _scatter_add_mod(
     table: np.ndarray, buckets: np.ndarray, values: np.ndarray, r: int
 ) -> None:
-    """``table[buckets[i]] += values[i] (mod r)`` exactly, vectorized.
+    """``table[buckets[i]] += values[i] (mod r)`` exactly, via the kernel tier.
 
-    Values are pre-reduced mod r (so ``0 <= v < r``); chunks are sized so a
-    chunk's bucket sum stays below 2^52 and is therefore exact in the
-    float64 arithmetic of ``np.bincount`` — the fast path.  The final
-    reduction mod r happens once per chunk ("deferred modulo", §7.1).
+    Values are pre-reduced mod r (so ``0 <= v < r``).  The numpy tier
+    sizes chunks so a chunk's bucket sum stays below 2^52 and is exact in
+    the float64 arithmetic of ``np.bincount``, reducing mod r once per
+    chunk ("deferred modulo", §7.1); the numba tier keeps a running
+    residue with one conditional subtract per element.  Both are exact.
     """
     if values.size == 0:
         return
-    chunk = max(1, (1 << _CHUNK_BITS) // max(r, 2))
-    d = table.shape[0]
-    for start in range(0, values.size, chunk):
-        stop = start + chunk
-        part = np.bincount(
-            buckets[start:stop],
-            weights=values[start:stop].astype(np.float64),
-            minlength=d,
-        ).astype(np.int64)
-        table += part
-        table %= r
+    get_kernels().scatter_add_mod(table, buckets, values, int(r))
 
 
 def pack_residues(flat: np.ndarray, bits: int) -> bytes:
@@ -218,16 +235,16 @@ class SumAggregationChecker:
         buckets = self.assigner.assign(keys)
         if self.operator == "+":
             # Fast path ("deferred modulo", §7.1): when the raw bucket sums
-            # provably fit the float64 mantissa, accumulate raw values with
-            # one shared weight array and reduce mod r only once per
-            # iteration at the very end — exact and ~3x cheaper than
-            # per-element modulo.
-            max_abs = _max_magnitude(values)
-            if values.size * max(max_abs, 1) < (1 << _CHUNK_BITS):
+            # provably fit the float64 mantissa (Σ|v| bounds every bucket
+            # sum), accumulate raw values with one shared weight array and
+            # reduce mod r only once per iteration at the very end — exact
+            # and ~3x cheaper than per-element modulo.
+            if _magnitude_bound(values) < (1 << _CHUNK_BITS):
                 weights = values.astype(np.float64)
+                kernels = get_kernels()
                 for j in range(cfg.iterations):
-                    part = np.bincount(
-                        buckets[j], weights=weights, minlength=cfg.d
+                    part = kernels.weighted_bincount(
+                        buckets[j], weights, cfg.d
                     ).astype(np.int64)
                     tables[j] = part % int(self.moduli[j])
             else:

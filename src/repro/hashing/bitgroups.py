@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.families import AffineLaneHasher, HashFamily, hash_lanes
+from repro.kernels import seeds_per_block
 from repro.util.bits import ceil_log2, is_power_of_two
 from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
@@ -159,7 +160,7 @@ def iter_bucket_blocks(
     seeds = np.asarray(seeds, dtype=np.uint64).ravel()
     keys = np.asarray(keys, dtype=np.uint64).ravel()
     k = keys.size
-    per_block = max(1, chunk_elements // max(k, 1))
+    per_block = seeds_per_block(chunk_elements, k)
     # The base pass over the keys (CRC's seed-0 table-lookup sweep,
     # tabulation's byte-index extraction) happens exactly once, here; each
     # seed block below only evaluates lanes against it.  Affine (CRC)
@@ -247,6 +248,130 @@ def iter_bucket_blocks(
                 buckets[it] = (h % np.uint64(d)).astype(np.intp)
                 it += 1
         yield start, count, buckets
+
+
+#: Widest super-group (in bits) the condensed-table fast path combines
+#: into one bincount: 2^16 bins × 8 B = 512 KB of float64 counts, still
+#: cache-friendly, while collapsing up to ``16 // group_bits`` per-group
+#: bincount passes over the keys into one.
+_MAX_SUPER_BITS = 16
+
+
+def iter_superbucket_blocks(
+    family: HashFamily,
+    d: int,
+    iterations: int,
+    seeds: np.ndarray,
+    keys: np.ndarray,
+    chunk_elements: int = 1 << 20,
+    max_super_bits: int = _MAX_SUPER_BITS,
+):
+    """Bucket indices combined into *super-groups* of adjacent bit-groups.
+
+    Power-of-two ``d`` only.  Where :func:`iter_bucket_blocks` yields one
+    ``0..d-1`` row per iteration, this packs up to
+    ``max_super_bits // log2(d)`` **adjacent** bit-groups of each hash
+    evaluation into a single index in ``0..d**m - 1`` (group ``j0 + q``
+    is bits ``q*log2(d)..`` of the packed index).  A consumer can then
+    bucket-count *m* iterations with **one** pass over the keys and read
+    each iteration's counts off as a marginal of the ``(d,)*m`` cube —
+    the §7.1 bit-parallel idea applied to the accumulation itself, not
+    just the hashing.
+
+    Yields ``(start, count, supers)`` per seed block, where ``supers``
+    is a list of ``(j0, m, idx)``: iterations ``j0..j0+m-1`` packed into
+    ``idx`` of shape ``(count, len(keys))``, dtype intp.  Bit-identical
+    to packing the corresponding :func:`iter_bucket_blocks` rows.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+    keys = np.asarray(keys, dtype=np.uint64).ravel()
+    if not is_power_of_two(d):
+        raise ValueError(f"super-group blocks need power-of-two d, got {d}")
+    k = keys.size
+    group_bits = ceil_log2(d)
+    groups_per_eval = max(1, family.bits // group_bits)
+    num_evals = -(-iterations // groups_per_eval)
+    m_max = max(1, max_super_bits // group_bits)
+    # Static plan: per evaluation, the (j0, g0, m) super-groups it carries.
+    evals: list[list[tuple[int, int, int]]] = []
+    it = 0
+    for _ in range(num_evals):
+        g = 0
+        supers = []
+        while g < groups_per_eval and it < iterations:
+            m = min(m_max, groups_per_eval - g, iterations - it)
+            supers.append((it, g, m))
+            g += m
+            it += m
+        evals.append(supers)
+    hasher = family.multiseed_hasher(keys)
+    affine = isinstance(hasher, AffineLaneHasher)
+    fused = None if affine else getattr(hasher, "bucket_lanes", None)
+    prefix = derive_seed_array(seeds, "bucket")
+    per_block = seeds_per_block(chunk_elements, k)
+    base_cache: dict[tuple[int, int], np.ndarray] = {}
+    if affine:
+        # Affine structure survives the packing: the packed index of lane s
+        # is base_super XOR (packed constant bits of c(s)) — extract the
+        # base's super fields once, outside the seed-block loop.
+        for supers in evals:
+            for _, g0, m in supers:
+                if (g0, m) not in base_cache:
+                    smask = np.uint64((1 << (m * group_bits)) - 1)
+                    base_cache[(g0, m)] = (
+                        (hasher.base >> np.uint64(g0 * group_bits)) & smask
+                    ).astype(np.intp)
+    for start in range(0, seeds.size, per_block):
+        count = min(per_block, seeds.size - start)
+        block_prefix = prefix[start : start + count]
+        out: list[tuple[int, int, np.ndarray]] = []
+        for e, supers in enumerate(evals):
+            fn_seeds = splitmix64_array(block_prefix ^ np.uint64(e))
+            idxs = [np.empty((count, k), dtype=np.intp) for _ in supers]
+            if affine:
+                consts = hasher.constants(fn_seeds)
+                for (_, g0, m), idx in zip(supers, idxs):
+                    smask = np.uint64((1 << (m * group_bits)) - 1)
+                    lane_c = (
+                        (consts >> np.uint64(g0 * group_bits)) & smask
+                    ).astype(np.intp)
+                    np.bitwise_xor(
+                        base_cache[(g0, m)][None, :], lane_c[:, None], out=idx
+                    )
+            elif fused is not None:
+                # Group runs of equal-width supers so the expensive base
+                # pass (tabulation gather / broadcast mix) runs once per
+                # run, extracting every super of the run in that pass.
+                i0 = 0
+                while i0 < len(supers):
+                    m0 = supers[i0][2]
+                    i1 = i0
+                    while i1 < len(supers) and supers[i1][2] == m0:
+                        i1 += 1
+                    sbits = m0 * group_bits
+                    fused(
+                        fn_seeds,
+                        1 << sbits,
+                        sbits,
+                        i1 - i0,
+                        idxs[i0:i1],
+                        bit_offset=supers[i0][1] * group_bits,
+                    )
+                    i0 = i1
+            else:
+                h = (
+                    hasher.lanes(fn_seeds)
+                    if hasher is not None
+                    else hash_lanes(family, fn_seeds, keys)
+                )
+                for (_, g0, m), idx in zip(supers, idxs):
+                    smask = np.uint64((1 << (m * group_bits)) - 1)
+                    idx[:] = (
+                        (h >> np.uint64(g0 * group_bits)) & smask
+                    ).astype(np.intp)
+            for (j0, _, m), idx in zip(supers, idxs):
+                out.append((j0, m, idx))
+        yield start, count, out
 
 
 def assign_buckets_batch(

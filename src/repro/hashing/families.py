@@ -24,18 +24,20 @@ from repro.hashing.crc32c import (
     crc32c_u64_array,
 )
 from repro.hashing.mixers import (
+    _BROADCAST_BLOCK_ELEMENTS,
     MultiplyShiftHash,
     SplitMixHash,
     multiply_shift_hash_batch,
-    multiply_shift_lanes,
     splitmix_hash_batch,
-    splitmix_lanes,
 )
 from repro.hashing.tabulation import (
+    _FUSED_BLOCK_ELEMENTS,
     StackedLaneHasher,
     TabulationHash,
     tabulation_hash_batch,
 )
+from repro.kernels import get_kernels, seeds_per_block
+from repro.util.rng import derive_seed_array
 
 
 @runtime_checkable
@@ -215,20 +217,112 @@ AffineHasher = AffineLaneHasher
 
 
 class BroadcastLaneHasher:
-    """Lane evaluator from a closed-form broadcast kernel.
+    """Lane evaluator from a closed-form broadcast formula.
 
     For families whose seeded evaluation is an elementwise formula of
-    (seed, key) — Mix's keyed SplitMix, MShift's multiply-shift — the lane
-    matrix is one broadcast kernel call over ``seeds[:, None]`` ×
-    ``keys[None, :]``: no per-seed instance loop, no key tiling.
+    (seed, key) — Mix's keyed SplitMix (``kind="mix"``), MShift's
+    multiply-shift (``kind="mshift"``) — all ``T`` lanes of a key block
+    come out of **one** cache-blocked kernel pass over the fixed keys:
+    no per-seed instance loop, no key tiling.  The per-seed constants
+    the formula needs (MShift's odd multipliers; Mix uses the seeds
+    directly) are derived once per seed block, outside the key loop.
+
+    :meth:`bucket_lanes` additionally fuses the §4 bit-group extraction
+    with the mixing pass — bucket indices are sliced out of each lane
+    block while it is still cache-resident, so Mix/MShift checker rows
+    never materialize (or re-stream) the full ``(T, n)`` lane matrix.
     """
 
-    def __init__(self, keys: np.ndarray, lanes_kernel):
+    def __init__(self, keys: np.ndarray, kind: str, out_bits: int):
+        if kind not in ("mix", "mshift"):
+            raise ValueError(f"kind must be 'mix' or 'mshift', got {kind!r}")
         self._keys = np.asarray(keys, dtype=np.uint64).ravel()
-        self._lanes_kernel = lanes_kernel
+        self._kind = kind
+        self.out_bits = out_bits
+        self._mask = (
+            np.uint64((1 << out_bits) - 1)
+            if out_bits < 64
+            else np.uint64(0xFFFFFFFFFFFFFFFF)
+        )
+        self._shift = np.uint64(64 - out_bits)
+
+    def _constants(self, seeds: np.ndarray) -> np.ndarray:
+        """Per-seed broadcast constants (hoisted out of the key loop)."""
+        if self._kind == "mix":
+            return seeds
+        return derive_seed_array(seeds, "multiply-shift") | np.uint64(1)
+
+    def _eval_block(
+        self, kernels, consts: np.ndarray, start: int, end: int,
+        out: np.ndarray,
+    ) -> None:
+        """All lanes of keys ``start:end`` into ``out`` in one kernel call."""
+        block = self._keys[start:end]
+        if self._kind == "mix":
+            kernels.mix_lanes(consts, block, self._mask, out)
+        else:
+            kernels.mshift_lanes(consts, block, self._shift, out)
 
     def lanes(self, seeds: np.ndarray) -> np.ndarray:
-        return self._lanes_kernel(seeds, self._keys)
+        seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+        consts = self._constants(seeds)
+        lanes, n = seeds.size, self._keys.size
+        out = np.empty((lanes, n), dtype=np.uint64)
+        if n == 0:
+            return out
+        kernels = get_kernels()
+        block = max(1, _BROADCAST_BLOCK_ELEMENTS // max(lanes, 1))
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            self._eval_block(kernels, consts, start, end, out[:, start:end])
+        return out
+
+    def bucket_lanes(
+        self,
+        seeds: np.ndarray,
+        d: int,
+        group_bits: int,
+        num_groups: int,
+        out: list,
+        bit_offset: int = 0,
+    ) -> None:
+        """Fused mix + bucket extraction (same contract as
+        :meth:`repro.hashing.tabulation.StackedLaneHasher.bucket_lanes`).
+
+        Group ``g`` of lane ``t`` is the ``group_bits``-wide field at bit
+        ``bit_offset + g * group_bits`` of the lane value;
+        ``group_bits == 0`` means the general ``mod d`` path with one
+        output row.  Bit-identical to extracting from :meth:`lanes`.
+        """
+        seeds = np.asarray(seeds, dtype=np.uint64).ravel()
+        consts = self._constants(seeds)
+        lanes, n = seeds.size, self._keys.size
+        if n == 0:
+            return
+        kernels = get_kernels()
+        block = max(1, _FUSED_BLOCK_ELEMENTS // max(lanes, 1))
+        width = min(block, n)
+        acc = np.empty((lanes, width), dtype=np.uint64)
+        grp = np.empty((lanes, width), dtype=np.uint64)
+        mask = np.uint64((1 << group_bits) - 1) if group_bits else np.uint64(0)
+        for start in range(0, n, block):
+            end = min(start + block, n)
+            w = end - start
+            a = acc[:, :w]
+            self._eval_block(kernels, consts, start, end, a)
+            if group_bits:
+                for g in range(num_groups):
+                    dst = out[g][:, start:end]
+                    shift = bit_offset + g * group_bits
+                    if shift:
+                        gv = grp[:, :w]
+                        np.right_shift(a, np.uint64(shift), out=gv)
+                        np.bitwise_and(gv, mask, out=dst, casting="unsafe")
+                    else:
+                        np.bitwise_and(a, mask, out=dst, casting="unsafe")
+            else:
+                np.mod(a, np.uint64(d), out=out[0][:, start:end],
+                       casting="unsafe")
 
 
 #: Seed-tiled elements per batched pass of the :func:`hash_lanes` fallback;
@@ -260,10 +354,11 @@ def hash_lanes(
         hasher = family.multiseed_hasher(keys)
     if hasher is not None:
         return hasher.lanes(seeds)
-    if chunk_elements < 1:
-        raise ValueError(f"chunk_elements must be >= 1, got {chunk_elements}")
     out = np.empty((seeds.size, keys.size), dtype=np.uint64)
-    per_block = max(1, chunk_elements // max(keys.size, 1))
+    # Shared chunking policy with every other seed-blocked path (raises
+    # ValueError on chunk_elements < 1, preserving this fallback's
+    # historical validation).
+    per_block = seeds_per_block(chunk_elements, keys.size)
     for start in range(0, seeds.size, per_block):
         count = min(per_block, seeds.size - start)
         owner = np.repeat(np.arange(count, dtype=np.intp), keys.size)
@@ -312,11 +407,9 @@ def _tab_multiseed_kernel(key_bits: int, out_bits: int):
     return kernel
 
 
-def _broadcast_multiseed_kernel(lanes_fn, out_bits: int):
+def _broadcast_multiseed_kernel(kind: str, out_bits: int):
     def kernel(keys):
-        return BroadcastLaneHasher(
-            keys, lambda seeds, fixed: lanes_fn(seeds, fixed, out_bits)
-        )
+        return BroadcastLaneHasher(keys, kind, out_bits)
 
     return kernel
 
@@ -370,7 +463,7 @@ MIX_FAMILY = _register(
         batch_kernel=lambda seeds, owner, keys: splitmix_hash_batch(
             seeds, owner, keys, 64
         ),
-        multiseed_kernel=_broadcast_multiseed_kernel(splitmix_lanes, 64),
+        multiseed_kernel=_broadcast_multiseed_kernel("mix", 64),
     )
 )
 MSHIFT_FAMILY = _register(
@@ -382,7 +475,7 @@ MSHIFT_FAMILY = _register(
         batch_kernel=lambda seeds, owner, keys: multiply_shift_hash_batch(
             seeds, owner, keys, 32
         ),
-        multiseed_kernel=_broadcast_multiseed_kernel(multiply_shift_lanes, 32),
+        multiseed_kernel=_broadcast_multiseed_kernel("mshift", 32),
     )
 )
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.util.rng import derive_seed, derive_seed_array, splitmix64, splitmix64_array
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -43,14 +44,14 @@ def splitmix_hash_batch(
 _BROADCAST_BLOCK_ELEMENTS = 1 << 18
 
 
-def _blocked_lanes(seeds: np.ndarray, keys: np.ndarray, kernel) -> np.ndarray:
-    """Evaluate ``kernel(seeds, key_block)`` into a (T, n) lane matrix,
+def _blocked_lanes(seeds: np.ndarray, keys: np.ndarray, block_eval) -> np.ndarray:
+    """Fill a (T, n) lane matrix via ``block_eval(key_block, out_block)``,
     cache-blocked over the key axis."""
     out = np.empty((seeds.size, keys.size), dtype=np.uint64)
     block = max(1, _BROADCAST_BLOCK_ELEMENTS // max(seeds.size, 1))
     for start in range(0, keys.size, block):
         end = min(start + block, keys.size)
-        out[:, start:end] = kernel(seeds, keys[start:end])
+        block_eval(keys[start:end], out[:, start:end])
     return out
 
 
@@ -61,19 +62,16 @@ def splitmix_lanes(
 
     The multi-seed access pattern (every seed over the same keys) as a
     broadcast mix over ``seeds[:, None] ^ keys[None, :]`` — no per-seed
-    loop and no key tiling.  Shape ``(len(seeds), len(keys))``.
+    loop and no key tiling.  Shape ``(len(seeds), len(keys))``.  The mix
+    runs on the active kernel tier (:mod:`repro.kernels`).
     """
     seeds = np.asarray(seeds, dtype=np.uint64).ravel()
     keys = np.asarray(keys, dtype=np.uint64).ravel()
-    mask = np.uint64((1 << out_bits) - 1) if out_bits < 64 else None
-
-    def kernel(s, k):
-        mixed = splitmix64_array(k[None, :] ^ s[:, None])
-        if mask is not None:
-            mixed &= mask
-        return mixed
-
-    return _blocked_lanes(seeds, keys, kernel)
+    mask = np.uint64((1 << out_bits) - 1) if out_bits < 64 else np.uint64(_MASK64)
+    kernels = get_kernels()
+    return _blocked_lanes(
+        seeds, keys, lambda k, o: kernels.mix_lanes(seeds, k, mask, o)
+    )
 
 
 def multiply_shift_lanes(
@@ -84,13 +82,10 @@ def multiply_shift_lanes(
     keys = np.asarray(keys, dtype=np.uint64).ravel()
     multipliers = derive_seed_array(seeds, "multiply-shift") | np.uint64(1)
     shift = np.uint64(64 - out_bits)
-
-    def kernel(s, k):
-        with np.errstate(over="ignore"):
-            product = k[None, :] * multipliers[:, None]
-        return product >> shift
-
-    return _blocked_lanes(seeds, keys, kernel)
+    kernels = get_kernels()
+    return _blocked_lanes(
+        seeds, keys, lambda k, o: kernels.mshift_lanes(multipliers, k, shift, o)
+    )
 
 
 def multiply_shift_hash_batch(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.util.rng import derive_seed, derive_seed_array, splitmix64_array
 
 
@@ -124,13 +125,17 @@ _LANE_BLOCK_ELEMENTS = 1 << 18
 _FUSED_BLOCK_ELEMENTS = 1 << 16
 
 
-def _key_byte_indices(keys: np.ndarray, num_tables: int) -> list[np.ndarray]:
-    """Per-table byte indices of every key (the gather addresses)."""
+def _key_byte_indices(keys: np.ndarray, num_tables: int) -> np.ndarray:
+    """Per-table byte indices of every key, shape ``(num_tables, n)`` intp.
+
+    One 2-D array (the gather addresses) so kernel tiers can take a
+    contiguous-row slice per cache block without per-table list plumbing.
+    """
     keys = np.asarray(keys, dtype=np.uint64).ravel()
-    return [
-        ((keys >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.intp)
-        for i in range(num_tables)
-    ]
+    out = np.empty((num_tables, keys.size), dtype=np.intp)
+    for i in range(num_tables):
+        out[i] = ((keys >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.intp)
+    return out
 
 
 class StackedLaneHasher:
@@ -158,7 +163,7 @@ class StackedLaneHasher:
         self.out_bits = out_bits
         self.num_tables = key_bits // 8
         self._bytes = _key_byte_indices(keys, self.num_tables)
-        self.num_keys = self._bytes[0].size
+        self.num_keys = self._bytes.shape[1]
 
     def _seed_major_tables(self, seeds: np.ndarray) -> np.ndarray:
         """Seed-major table tensor: lane ``t`` reads a contiguous 2 KB slice."""
@@ -169,23 +174,11 @@ class StackedLaneHasher:
         )
 
     def _gather_block(
-        self, tables: np.ndarray, start: int, end: int,
+        self, kernels, tables: np.ndarray, start: int, end: int,
         acc: np.ndarray, tmp: np.ndarray,
     ) -> None:
         """XOR-accumulate all tables' gathers for keys ``start:end``."""
-        # Byte indices are < 256 by construction; mode="clip" skips
-        # numpy's per-element bounds check without changing results.
-        np.take(
-            tables[0], self._bytes[0][start:end],
-            axis=1, out=tmp, mode="clip",
-        )
-        acc[:] = tmp
-        for i in range(1, self.num_tables):
-            np.take(
-                tables[i], self._bytes[i][start:end],
-                axis=1, out=tmp, mode="clip",
-            )
-            acc ^= tmp
+        kernels.tab_gather(tables, self._bytes[:, start:end], acc, tmp)
 
     def lanes(self, seeds: np.ndarray) -> np.ndarray:
         """Lane matrix ``out[t] = TabulationHash(seeds[t], ...).hash_array``.
@@ -200,12 +193,13 @@ class StackedLaneHasher:
         out = np.empty((lanes, n), dtype=np.uint64)
         if n == 0:
             return out
+        kernels = get_kernels()
         block = max(1, _LANE_BLOCK_ELEMENTS // max(lanes, 1))
         scratch = np.empty((lanes, min(block, n)), dtype=np.uint64)
         for start in range(0, n, block):
             end = min(start + block, n)
             self._gather_block(
-                tables, start, end,
+                kernels, tables, start, end,
                 out[:, start:end], scratch[:, : end - start],
             )
         return out
@@ -217,6 +211,7 @@ class StackedLaneHasher:
         group_bits: int,
         num_groups: int,
         out: list,
+        bit_offset: int = 0,
     ) -> None:
         """Fused gather + bucket extraction for the §4 bit-group scheme.
 
@@ -226,37 +221,41 @@ class StackedLaneHasher:
         gather accumulator **while it is still cache-resident**, instead
         of materializing the full uint64 lane matrix and re-streaming it
         once per group (that second DRAM pass is what dominated Tab64
-        lane consumption).  ``group_bits == 0`` means the general
-        ``mod d`` path with a single output row.  Results are
-        bit-identical to extracting from :meth:`lanes`.
+        lane consumption).  Group ``g`` is the ``group_bits``-wide field
+        at bit ``bit_offset + g * group_bits`` (``bit_offset`` lets the
+        super-group path extract wide fields starting mid-word).
+        ``group_bits == 0`` means the general ``mod d`` path with a
+        single output row.  Results are bit-identical to extracting from
+        :meth:`lanes`.
         """
         seeds = np.asarray(seeds, dtype=np.uint64).ravel()
         tables = self._seed_major_tables(seeds)
         lanes, n = seeds.size, self.num_keys
         if n == 0:
             return
+        kernels = get_kernels()
         block = max(1, _FUSED_BLOCK_ELEMENTS // max(lanes, 1))
         width = min(block, n)
         acc = np.empty((lanes, width), dtype=np.uint64)
         tmp = np.empty((lanes, width), dtype=np.uint64)
         grp = np.empty((lanes, width), dtype=np.uint64)
-        mask = np.uint64(d - 1)
+        mask = np.uint64((1 << group_bits) - 1) if group_bits else np.uint64(0)
         for start in range(0, n, block):
             end = min(start + block, n)
             w = end - start
             a = acc[:, :w]
-            self._gather_block(tables, start, end, a, tmp[:, :w])
+            self._gather_block(kernels, tables, start, end, a, tmp[:, :w])
             if group_bits:
                 for g in range(num_groups):
                     dst = out[g][:, start:end]
-                    if g:
+                    shift = bit_offset + g * group_bits
+                    if shift:
                         gv = grp[:, :w]
-                        np.right_shift(
-                            a, np.uint64(g * group_bits), out=gv
-                        )
+                        np.right_shift(a, np.uint64(shift), out=gv)
                         # Mask and intp-cast in one pass straight into the
                         # caller's bucket row ("unsafe" = dtype change
-                        # only; values are < d and cast exactly).
+                        # only; values are < 2**group_bits and cast
+                        # exactly).
                         np.bitwise_and(gv, mask, out=dst, casting="unsafe")
                     else:
                         np.bitwise_and(a, mask, out=dst, casting="unsafe")
