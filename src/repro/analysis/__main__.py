@@ -1,0 +1,88 @@
+"""CLI: ``python -m repro.analysis src/ [--strict] [--format json] ...``.
+
+Exit status: 0 when no *unsuppressed* findings (always 0 without
+``--strict``, so exploratory runs can page through output), 1 when
+``--strict`` and at least one unsuppressed finding, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import Project, findings_to_json, run_rules
+from repro.analysis.rules import default_rules, rule_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of repro invariants (see README).",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any unsuppressed finding remains",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write JSON findings to this file (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=f"run only these rules (known: {', '.join(rule_names())})",
+    )
+    args = parser.parse_args(argv)
+
+    only = None
+    if args.rules:
+        only = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = only - set(rule_names())
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    try:
+        project = Project.from_paths(args.paths)
+    except (ValueError, OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = run_rules(project, default_rules(), only=only)
+    unsuppressed = [f for f in findings if not f.suppressed]
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(findings_to_json(findings))
+
+    if args.format == "json":
+        sys.stdout.write(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        suppressed = len(findings) - len(unsuppressed)
+        print(
+            f"{len(project.modules)} modules, "
+            f"{len(unsuppressed)} finding(s), {suppressed} suppressed"
+        )
+
+    if args.strict and unsuppressed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

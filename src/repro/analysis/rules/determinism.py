@@ -1,0 +1,97 @@
+"""Rule ``determinism`` — all randomness flows through ``util/rng.py``.
+
+Checker soundness is argued over *seeded* hash functions, and every test
+and experiment in the repo reproduces bit-for-bit from a run seed.  A naked
+``np.random.*`` / ``random.*`` call anywhere else introduces hidden global
+state (or an OS-entropy seed) that silently breaks replay — and, worse,
+per-PE divergence once the comm layer is real.  The sanctioned entry points
+live in ``repro/util/rng.py`` (SplitMix64 streams plus the
+``default_generator`` bridge to :class:`numpy.random.Generator`); that
+module is the single allowed user of the underlying libraries.
+
+Only *call sites* are flagged.  ``np.random.Generator`` used as a type
+annotation, and method calls on a generator object someone passed in
+(``rng.integers(...)``), are fine — the policy is about who *constructs*
+randomness, not who consumes it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Module, Project, Rule
+
+_SANCTIONED_SUFFIXES = ("repro/util/rng.py",)
+
+
+def _chain(node: ast.AST) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _random_imports(module: Module) -> tuple[set[str], set[str]]:
+    """(aliases of the random/numpy.random modules, names imported from them)."""
+    module_aliases: set[str] = set()
+    member_names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("random", "numpy.random"):
+                    module_aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("random", "numpy.random"):
+                for alias in node.names:
+                    member_names.add(alias.asname or alias.name)
+    return module_aliases, member_names
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    rationale = (
+        "runs must reproduce bit-for-bit from a seed; unseeded or "
+        "global-state RNG breaks replay and diverges across PEs"
+    )
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            if not module.dotted.startswith("repro."):
+                continue
+            if module.path.endswith(_SANCTIONED_SUFFIXES):
+                continue
+            module_aliases, member_names = _random_imports(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = None
+                if isinstance(node.func, ast.Attribute):
+                    chain = _chain(node.func)
+                    if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+                        reason = ".".join(chain)
+                    elif chain and chain[0] in module_aliases:
+                        reason = ".".join(chain)
+                elif isinstance(node.func, ast.Name):
+                    if node.func.id in member_names:
+                        reason = node.func.id
+                if reason is not None:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"naked RNG call {reason}(...); route through "
+                                "repro.util.rng (default_generator / "
+                                "SplitMix64 streams) so runs replay from the "
+                                "seed"
+                            ),
+                        )
+                    )
+        return findings

@@ -1,0 +1,142 @@
+"""Rule ``kernel-parity`` — backends and dispatch table agree exactly.
+
+``dispatch.get_kernels`` resolves kernels from whichever backend the tier
+selects *by name*, so the numpy oracle and the numba implementation must
+export the same kernel set with the same parameter lists, and
+``KERNEL_NAMES`` must list exactly that set — a kernel missing from one
+backend only fails at runtime on the machine where that tier happens to be
+selected.  Checks:
+
+* every ``KERNEL_NAMES`` entry is defined in both backends;
+* matching kernels take identically-named parameters in the same order
+  (annotations and defaults are representation, not interface);
+* no *extra* public top-level function in either backend escapes the
+  dispatch table (``self_check`` and underscore helpers are exempt — they
+  are backend-internal, not dispatched).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Module, Project, Rule
+
+_DISPATCH_SUFFIX = ".kernels.dispatch"
+_BACKEND_SUFFIXES = (".kernels.numpy_backend", ".kernels.numba_backend")
+_EXEMPT = {"self_check"}
+
+
+def _top_level_functions(module: Module) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _param_names(fn: ast.FunctionDef) -> list[str]:
+    args = fn.args
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+
+def _kernel_names(module: Module) -> tuple[list[str], int] | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "KERNEL_NAMES":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+                    return list(value), node.lineno
+    return None
+
+
+class KernelParityRule(Rule):
+    name = "kernel-parity"
+    rationale = (
+        "kernels are resolved by name at tier-selection time; a backend/"
+        "dispatch mismatch is invisible until the other tier runs"
+    )
+
+    def run(self, project: Project) -> list[Finding]:
+        dispatch = None
+        backends: dict[str, Module] = {}
+        for module in project.modules:
+            if module.dotted.endswith(_DISPATCH_SUFFIX):
+                dispatch = module
+            for suffix in _BACKEND_SUFFIXES:
+                if module.dotted.endswith(suffix):
+                    backends[suffix.rsplit(".", 1)[-1]] = module
+        if dispatch is None or len(backends) < 2:
+            return []  # kernel tier not part of this project (e.g. fixtures)
+
+        findings: list[Finding] = []
+        parsed = _kernel_names(dispatch)
+        if parsed is None:
+            return [
+                Finding(
+                    rule=self.name,
+                    path=dispatch.path,
+                    line=1,
+                    message="dispatch module defines no literal KERNEL_NAMES table",
+                )
+            ]
+        kernel_names, table_line = parsed
+        funcs = {
+            name: _top_level_functions(module)
+            for name, module in backends.items()
+        }
+
+        for kernel in kernel_names:
+            defs: dict[str, ast.FunctionDef] = {}
+            for backend, module in backends.items():
+                fn = funcs[backend].get(kernel)
+                if fn is None:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=1,
+                            message=(
+                                f"kernel '{kernel}' is in KERNEL_NAMES but "
+                                f"not defined in {backend}"
+                            ),
+                        )
+                    )
+                else:
+                    defs[backend] = fn
+            if len(defs) == 2:
+                (b1, f1), (b2, f2) = sorted(defs.items())
+                if _param_names(f1) != _param_names(f2):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=backends[b2].path,
+                            line=f2.lineno,
+                            message=(
+                                f"kernel '{kernel}' signature mismatch: "
+                                f"{b1}({', '.join(_param_names(f1))}) vs "
+                                f"{b2}({', '.join(_param_names(f2))})"
+                            ),
+                        )
+                    )
+
+        for backend, module in backends.items():
+            for name, fn in funcs[backend].items():
+                if name.startswith("_") or name in _EXEMPT:
+                    continue
+                if name not in kernel_names:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=fn.lineno,
+                            message=(
+                                f"public kernel-like function '{name}' in "
+                                f"{backend} is missing from KERNEL_NAMES "
+                                f"(dispatch.py:{table_line})"
+                            ),
+                        )
+                    )
+        return findings

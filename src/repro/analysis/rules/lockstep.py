@@ -1,0 +1,251 @@
+"""Rule ``collective-lockstep`` — collectives must be control-flow uniform.
+
+The checkers' soundness argument (and, once ROADMAP item 1 lands, mpi4py's
+liveness) requires every PE to issue the *same sequence* of collectives.
+Three shapes break that:
+
+* **diverging branch** — a collective reachable in only one arm (or with a
+  different collective sequence per arm) of a branch whose condition is not
+  replicated across PEs;
+* **non-uniform loop** — collectives inside a loop whose iteration count
+  depends on per-PE data (a ``for`` over a local container, a ``while``
+  on a local predicate, or a ``while True`` whose ``break`` is guarded by
+  a per-PE condition);
+* **early return** — a ``return`` guarded by a non-replicated condition
+  with collectives issued later in the function (the classic
+  ``if values.size == 0: return`` fast path that deadlocks under MPI).
+
+``raise`` paths are deliberately not flagged: input-validation raises are
+programmer-error traps, expected to fire on every PE or none (the inputs
+they validate are replicated configuration), and flagging them would bury
+the real hazards in noise.
+
+Replication of conditions comes from :mod:`repro.analysis.uniformity`;
+whether a call issues collectives comes from the transitive summaries in
+:mod:`repro.analysis.callgraph`.  Scope: ``repro.core``, ``repro.dataflow``
+and ``repro.comm`` — minus the collective *implementations* themselves
+(``comm/collectives.py``, ``comm/communicator.py``), whose internal rank
+branching is the binomial tree, not a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    NONUNIFORM,
+    CONV,
+    CallGraph,
+    FunctionInfo,
+    _PRIMITIVE_MODULE_SUFFIXES,
+    get_callgraph,
+)
+from repro.analysis.engine import Finding, Project, Rule
+from repro.analysis.uniformity import FlowWalker, comm_guard
+
+_SCOPE_PREFIXES = ("repro.core", "repro.dataflow", "repro.comm")
+
+
+class _LockstepWalker(FlowWalker):
+    """FlowWalker subclass that emits lockstep findings while propagating
+    replication levels."""
+
+    def __init__(self, graph: CallGraph, info: FunctionInfo, findings: list):
+        super().__init__(graph, info, CONV)
+        self.findings = findings
+        #: lines of returns guarded by a non-replicated condition, waiting
+        #: to see whether any collective is issued later in the function.
+        self._pending_returns: list[int] = []
+        #: per enclosing loop: does it issue collectives?
+        self._loop_stack: list[bool] = []
+        self._emitted: set[tuple[int, str]] = set()
+
+    # -- finding helpers -----------------------------------------------------
+
+    def _emit(self, line: int, message: str) -> None:
+        key = (line, message)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.findings.append(
+            Finding(
+                rule=LockstepRule.name,
+                path=self.info.module_path,
+                line=line,
+                message=f"in {self.info.qualname}: {message}",
+            )
+        )
+
+    def _markers(self, node: ast.AST) -> tuple[str, ...]:
+        """Ordered collective markers issued in ``node``'s subtree.
+
+        A marker is either a direct collective op (``"allreduce"``) or a
+        call into an analyzed function with a non-empty transitive
+        collective summary (``"settle→{allreduce,bcast}"``).  Nested
+        function/class definitions are excluded.
+        """
+        out: list[str] = []
+
+        def visit(n: ast.AST) -> None:
+            if isinstance(
+                n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            if isinstance(n, ast.Call):
+                op = CallGraph.collective_op(n)
+                if op is not None:
+                    out.append(op)
+                else:
+                    marker = self._call_marker(n)
+                    if marker is not None:
+                        out.append(marker)
+            for child in ast.iter_child_nodes(n):
+                visit(child)
+
+        if isinstance(node, list):
+            for item in node:
+                visit(item)
+        else:
+            visit(node)
+        return tuple(out)
+
+    def _call_marker(self, call: ast.Call) -> str | None:
+        func = call.func
+        root = None
+        if isinstance(func, ast.Name):
+            name, kind = func.id, "bare"
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            n = func
+            while isinstance(n, ast.Attribute):
+                n = n.value
+            if isinstance(n, ast.Name) and n.id in ("self", "cls"):
+                kind = "self"
+            else:
+                kind = "attr"
+                root = n.id if isinstance(n, ast.Name) else None
+        else:
+            return None
+        ops: set[str] = set()
+        for target in self.graph.resolve_edge(self.info, kind, name, root):
+            ops |= target.transitive
+        if not ops:
+            return None
+        return f"{name}→{{{','.join(sorted(ops))}}}"
+
+    @staticmethod
+    def _contains(node_or_block, kinds) -> bool:
+        items = node_or_block if isinstance(node_or_block, list) else [node_or_block]
+        stack = list(items)
+        while stack:
+            n = stack.pop()
+            if isinstance(
+                n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(n, kinds):
+                return True
+            stack.extend(ast.iter_child_nodes(n))
+        return False
+
+    # -- walk hooks ----------------------------------------------------------
+
+    def walk_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self._pending_returns:
+                markers = self._markers(stmt)
+                if markers:
+                    for ret_line in self._pending_returns:
+                        self._emit(
+                            ret_line,
+                            "early return guarded by a non-replicated "
+                            f"condition, but collectives follow at line "
+                            f"{stmt.lineno} ({', '.join(markers)}); PEs "
+                            "taking the fast path skip them",
+                        )
+                    self._pending_returns.clear()
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            level = self.level(stmt.iter)
+            body_markers = self._markers(stmt.body)
+            if level == NONUNIFORM and body_markers:
+                self._emit(
+                    stmt.lineno,
+                    "for-loop over a non-replicated iterable issues "
+                    f"collectives ({', '.join(body_markers)}); iteration "
+                    "counts can differ across PEs",
+                )
+            self._loop_stack.append(bool(body_markers))
+            try:
+                super().walk_stmt(stmt)
+            finally:
+                self._loop_stack.pop()
+            return
+        if isinstance(stmt, ast.While):
+            level = self.level(stmt.test)
+            body_markers = self._markers(stmt.body)
+            if level == NONUNIFORM and body_markers:
+                self._emit(
+                    stmt.lineno,
+                    "while-loop with a non-replicated bound issues "
+                    f"collectives ({', '.join(body_markers)}); PEs can "
+                    "run different numbers of rounds",
+                )
+            self._loop_stack.append(bool(body_markers))
+            try:
+                super().walk_stmt(stmt)
+            finally:
+                self._loop_stack.pop()
+            return
+        super().walk_stmt(stmt)
+
+    def _walk_if(self, stmt: ast.If) -> None:
+        if comm_guard(stmt.test) is None:
+            level = self.level(stmt.test)
+            if level == NONUNIFORM:
+                body_markers = self._markers(stmt.body)
+                orelse_markers = self._markers(stmt.orelse)
+                if body_markers != orelse_markers:
+                    self._emit(
+                        stmt.lineno,
+                        "branch on a non-replicated condition with "
+                        "diverging collective sequences: if-arm "
+                        f"[{', '.join(body_markers) or 'none'}] vs else-arm "
+                        f"[{', '.join(orelse_markers) or 'none'}]",
+                    )
+                if (
+                    self._loop_stack
+                    and self._loop_stack[-1]
+                    and self._contains(stmt, (ast.Break,))
+                ):
+                    self._emit(
+                        stmt.lineno,
+                        "loop exit guarded by a non-replicated condition "
+                        "inside a collective-issuing loop; PEs can leave "
+                        "the loop in different rounds",
+                    )
+                if self._contains(stmt, (ast.Return,)):
+                    self._pending_returns.append(stmt.lineno)
+        super()._walk_if(stmt)
+
+
+class LockstepRule(Rule):
+    name = "collective-lockstep"
+    rationale = (
+        "every PE must issue the same collective sequence; data-dependent "
+        "branches/loops/early-returns around collectives deadlock under MPI"
+    )
+
+    def run(self, project: Project) -> list[Finding]:
+        graph = get_callgraph(project)
+        findings: list[Finding] = []
+        for info in graph.functions:
+            if not info.module_dotted.startswith(_SCOPE_PREFIXES):
+                continue
+            if info.module_dotted.endswith(_PRIMITIVE_MODULE_SUFFIXES):
+                continue
+            walker = _LockstepWalker(graph, info, findings)
+            walker.walk_function()
+        return findings

@@ -1,0 +1,156 @@
+"""Rule ``overflow-discipline`` — int64 accumulation in ``core/`` is guarded.
+
+The checkers fingerprint data by summing hashed int64 values.  NumPy sums
+wrap silently at 2^63, and a wrapped fingerprint is exactly the kind of
+"both sides computed the same wrong number" failure a checker cannot see.
+``core/`` has three sanctioned disciplines, all of which this rule
+recognizes as guards:
+
+* **magnitude analysis** — bound the addends first (``_max_magnitude``)
+  and pick an exact dtype (``sum_checker``);
+* **32-bit splitting** — split into lo/hi halves (``<< 32`` / ``>> 32``)
+  and accumulate in Python's unbounded ints (``wide_sum``);
+* **modular reduction** — reduce mod a < 2^31 prime at (or immediately
+  after) the summation, where wraparound is impossible or the arithmetic
+  is intentionally modular.
+
+A ``.sum()`` / ``np.sum`` / ``np.cumsum`` / ``np.dot`` in ``repro.core``
+with none of these in reach — no ``dtype=`` promotion on the call, no
+``%`` in the same statement, no later ``%`` applied to the assigned name,
+and no magnitude/split guard in the enclosing function — is flagged.
+Python's builtin ``sum`` is exempt (arbitrary precision).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Project, Rule
+
+_SUM_ATTRS = {"sum", "cumsum", "dot"}
+_GUARD_CALL_TOKENS = ("max_magnitude",)
+
+
+def _is_sum_call(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SUM_ATTRS:
+        return func.attr
+    return None
+
+
+def _has_dtype_promotion(node: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in node.keywords)
+
+
+def _function_has_guard(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name and any(tok in name for tok in _GUARD_CALL_TOKENS):
+                return True
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.LShift, ast.RShift))
+            and isinstance(node.right, ast.Constant)
+            and node.right.value == 32
+        ):
+            return True
+    return False
+
+
+def _stmt_has_mod(stmt: ast.stmt) -> bool:
+    return any(
+        isinstance(n, ast.BinOp) and isinstance(n.op, ast.Mod)
+        for n in ast.walk(stmt)
+    )
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _later_mod_on(fn: ast.AST, names: set[str]) -> bool:
+    """Whether any Mod BinOp in the function mentions one of ``names``."""
+    if not names:
+        return False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id in names:
+                    return True
+    return False
+
+
+class OverflowRule(Rule):
+    name = "overflow-discipline"
+    rationale = (
+        "int64 fingerprint sums wrap silently at 2^63; every accumulation "
+        "needs a magnitude bound, a 32-bit split, or a modular reduction"
+    )
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            if not module.dotted.startswith("repro.core"):
+                continue
+            for fn in ast.walk(module.tree):
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _function_has_guard(fn):
+                    continue
+                for stmt in ast.walk(fn):
+                    # Smallest enclosing simple statements only, so one
+                    # call is judged (and reported) exactly once.
+                    if not isinstance(
+                        stmt,
+                        (
+                            ast.Assign,
+                            ast.AugAssign,
+                            ast.AnnAssign,
+                            ast.Expr,
+                            ast.Return,
+                            ast.Assert,
+                        ),
+                    ):
+                        continue
+                    if _stmt_has_mod(stmt):
+                        continue
+                    assigned = _assigned_names(stmt)
+                    for node in ast.walk(stmt):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        op = _is_sum_call(node)
+                        if op is None or _has_dtype_promotion(node):
+                            continue
+                        if _later_mod_on(fn, assigned):
+                            continue
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.path,
+                                line=node.lineno,
+                                message=(
+                                    f"unguarded .{op}() accumulation: no "
+                                    "dtype promotion, magnitude bound "
+                                    "(_max_magnitude), 32-bit split, or "
+                                    "modular reduction in reach — int64 "
+                                    "wraparound corrupts the fingerprint "
+                                    "silently"
+                                ),
+                            )
+                        )
+        return findings

@@ -1,0 +1,223 @@
+"""Rule ``stream-protocol`` — ``CheckerStream`` subclasses obey the protocol.
+
+The windowed settlement machinery (``dataflow/streaming.py``) drives every
+stream through the same lifecycle: ``feed_input``/``feed_output`` while
+open, exactly one ``settle``, and a uniform ``RuntimeError`` on use after
+settling.  The base class centralizes the guard (``_ensure_open`` /
+``_settled``); subclasses keep the invariant only if they actually route
+through it.  Three checks:
+
+* **missing-method** — a leaf subclass (no project-local subclasses of its
+  own) must provide ``feed_input``, ``feed_output`` and a settlement hook
+  (``_settle`` or a ``settle`` override) somewhere below the base class;
+  inheriting the base's ``NotImplementedError`` stubs is not an
+  implementation.
+* **unguarded-feed** — a ``feed_input``/``feed_output`` override that
+  mutates ``self`` state must call ``self._ensure_open()`` first; mutating
+  before the guard means a settled stream still changes state even though
+  the delegate it forwards to raises.
+* **settle-override** — overriding ``settle`` itself (instead of the
+  ``_settle`` hook) must preserve the base machinery: call
+  ``self._ensure_open()`` and set ``self._settled``.  Anything else makes
+  re-settle silently recompute — the double-settlement bug the uniform
+  ``RuntimeError`` exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import get_callgraph
+from repro.analysis.engine import Finding, Project, Rule
+
+_BASE = "CheckerStream"
+_FEED_METHODS = ("feed_input", "feed_output")
+
+
+def _calls_method(fn: ast.FunctionDef, method: str) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _mutates_self_before_guard(fn: ast.FunctionDef) -> int | None:
+    """Line of the first ``self.x = ...`` / ``self.x += ...`` not preceded
+    by ``self._ensure_open()``, walking top-level statements in order."""
+    guarded = False
+    for stmt in fn.body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_ensure_open"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                guarded = True
+        if guarded:
+            return None
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return stmt.lineno
+    return None
+
+
+class StreamProtocolRule(Rule):
+    name = "stream-protocol"
+    rationale = (
+        "CheckerStream subclasses must feed through the _ensure_open guard "
+        "and settle through the base machinery, or settled streams mutate "
+        "and re-settle silently"
+    )
+
+    def run(self, project: Project) -> list[Finding]:
+        graph = get_callgraph(project)
+        findings: list[Finding] = []
+
+        # Subclass map over project-local classes.
+        children: dict[str, list[str]] = {}
+        for cls in graph.classes.values():
+            for base in cls.bases:
+                children.setdefault(base, []).append(cls.name)
+
+        def is_stream(name: str) -> bool:
+            seen: set[str] = set()
+            queue = [name]
+            while queue:
+                current = queue.pop(0)
+                if current in seen:
+                    continue
+                seen.add(current)
+                cls = graph.classes.get(current)
+                if cls is None:
+                    continue
+                if _BASE in cls.bases:
+                    return True
+                queue.extend(cls.bases)
+            return False
+
+        def methods_below_base(name: str) -> dict[str, ast.FunctionDef]:
+            """Methods defined anywhere in the hierarchy strictly below
+            the base class (nearest definition wins)."""
+            out: dict[str, ast.FunctionDef] = {}
+            queue = [name]
+            seen: set[str] = set()
+            while queue:
+                current = queue.pop(0)
+                if current in seen or current == _BASE:
+                    continue
+                seen.add(current)
+                cls = graph.classes.get(current)
+                if cls is None:
+                    continue
+                for mname, fn in cls.methods.items():
+                    out.setdefault(mname, fn.node)
+                queue.extend(cls.bases)
+            return out
+
+        for cls in graph.classes.values():
+            if cls.name == _BASE or not is_stream(cls.name):
+                continue
+            module = project.by_dotted.get(cls.module_dotted)
+            path = module.path if module else cls.module_dotted
+            own = cls.methods
+            line = next(iter(own.values())).node.lineno if own else 1
+
+            # missing-method: leaves must implement the full protocol.
+            if not children.get(cls.name):
+                provided = methods_below_base(cls.name)
+                for required in _FEED_METHODS:
+                    if required not in provided:
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=path,
+                                line=line,
+                                message=(
+                                    f"{cls.name}: CheckerStream subclass "
+                                    f"does not implement {required}()"
+                                ),
+                            )
+                        )
+                if "_settle" not in provided and "settle" not in provided:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            line=line,
+                            message=(
+                                f"{cls.name}: CheckerStream subclass "
+                                "implements neither _settle() nor settle()"
+                            ),
+                        )
+                    )
+
+            # unguarded-feed: own feed overrides must guard before mutating.
+            for mname in _FEED_METHODS:
+                fn = own.get(mname)
+                if fn is None:
+                    continue
+                bad_line = _mutates_self_before_guard(fn.node)
+                if bad_line is not None:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            line=bad_line,
+                            message=(
+                                f"{cls.name}.{mname} mutates stream state "
+                                "without calling self._ensure_open() first; "
+                                "a settled stream would still accumulate"
+                            ),
+                        )
+                    )
+
+            # settle-override: must keep the re-settle guard.
+            fn = own.get("settle")
+            if fn is not None:
+                guards = _calls_method(fn.node, "_ensure_open")
+                marks = any(
+                    isinstance(t, ast.Attribute)
+                    and t.attr == "_settled"
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for node in ast.walk(fn.node)
+                    if isinstance(node, (ast.Assign, ast.AugAssign))
+                    for t in (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                )
+                if not (guards and marks):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            line=fn.node.lineno,
+                            message=(
+                                f"{cls.name}.settle overrides the base "
+                                "settle() without _ensure_open() + "
+                                "self._settled; re-settling would silently "
+                                "recompute instead of raising the uniform "
+                                "RuntimeError"
+                            ),
+                        )
+                    )
+        return findings

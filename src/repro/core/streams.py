@@ -762,7 +762,7 @@ class CountCheckerStream(CheckerStream):
     def elements_fed(self) -> int:
         return self._inner.elements_fed
 
-    def settle(self, comm=None) -> CheckResult:
+    def _settle(self, comm) -> CheckResult:
         return self._inner.settle(comm)
 
 

@@ -35,7 +35,7 @@ from repro.core.sort_checker import check_globally_sorted, check_sort
 from repro.core.sum_checker import SumAggregationChecker
 from repro.dataflow.ops.reduce_by_key import reduce_by_key
 from repro.dataflow.ops.sort import sample_sort
-from repro.util.rng import derive_seed, derive_seed_array
+from repro.util.rng import default_generator, derive_seed, derive_seed_array
 
 
 @dataclass
@@ -493,7 +493,7 @@ def checked_reduce_by_key(
         t1 = time.perf_counter()
         op_keys, op_values = keys, values
         if manipulator is not None:
-            rng = manipulator_rng or np.random.default_rng(seed)
+            rng = manipulator_rng or default_generator(seed)
             manipulated = manipulator.apply(rng, keys, values)
             op_keys, op_values = manipulated.keys, manipulated.values
         out_keys, out_values = reduce_by_key(
@@ -528,7 +528,7 @@ def checked_reduce_by_key(
 
     op_keys, op_values = keys, values
     if manipulator is not None:
-        rng = manipulator_rng or np.random.default_rng(seed)
+        rng = manipulator_rng or default_generator(seed)
         manipulated = manipulator.apply(rng, keys, values)
         op_keys, op_values = manipulated.keys, manipulated.values
     out_keys, out_values = reduce_by_key(comm, op_keys, op_values, partitioner)
@@ -584,7 +584,7 @@ def checked_sort(
     t0 = time.perf_counter()
     op_input = values
     if manipulator is not None:
-        rng = manipulator_rng or np.random.default_rng(seed)
+        rng = manipulator_rng or default_generator(seed)
         op_input = manipulator.apply(rng, values).sequence
     out = sample_sort(comm, op_input)
     t1 = time.perf_counter()

@@ -13,6 +13,8 @@ tier wholesale if any kernel disagrees.
 from __future__ import annotations
 
 import numpy as np
+
+from repro.util.rng import default_generator
 from numba import njit
 
 name = "numba"
@@ -174,7 +176,7 @@ def self_check(oracle) -> None:
     whole tier — a silently wrong kernel could flip a checker verdict,
     which is the one failure mode this repository exists to prevent.
     """
-    rng = np.random.default_rng(0xC0FFEE)
+    rng = default_generator(0xC0FFEE)
     keys = rng.integers(0, 2**64, 67, dtype=np.uint64)
     seeds = rng.integers(0, 2**64, 5, dtype=np.uint64)
 

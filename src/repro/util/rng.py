@@ -132,6 +132,18 @@ def uniform_below_array(seeds: np.ndarray, bound: int) -> np.ndarray:
     return states % np.uint64(bound)
 
 
+def default_generator(seed: int) -> np.random.Generator:
+    """The one sanctioned bridge to :class:`numpy.random.Generator`.
+
+    Workload synthesis and fault injection want numpy's distribution
+    machinery (``zipf``, ``random``, shuffles) rather than raw SplitMix64
+    draws; they get it here, always seeded, so every consumer stays
+    replayable from an integer seed and the ``determinism`` lint rule has
+    exactly one allowed constructor to whitelist (this module).
+    """
+    return np.random.default_rng(int(seed) & _MASK64)
+
+
 class SplitMixStream:
     """Counter-based per-trial randomness with a ``Generator``-like surface.
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.rng import default_generator
 from repro.workloads.zipf import ZipfGenerator
 
 
@@ -20,7 +21,7 @@ def sum_workload(
     paper's ⊕ requirement ``x ⊕ y ≠ x for y ≠ 0`` presumes).
     """
     keys = ZipfGenerator(num_keys, seed).sample(count)
-    rng = np.random.default_rng(seed + 1)
+    rng = default_generator(seed + 1)
     values = rng.integers(1, value_range + 1, count, dtype=np.int64)
     return keys, values
 

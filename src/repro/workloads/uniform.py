@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.rng import default_generator
+
 
 def uniform_integers(
     count: int, universe: int = 10**8, seed: int = 0
@@ -17,5 +19,5 @@ def uniform_integers(
         raise ValueError(f"count must be >= 0, got {count}")
     if universe < 1:
         raise ValueError(f"universe must be >= 1, got {universe}")
-    rng = np.random.default_rng(seed)
+    rng = default_generator(seed)
     return rng.integers(0, universe, count, dtype=np.uint64)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.rng import default_generator
+
 
 class ZipfGenerator:
     """Sampler for the rank-frequency law ``f(k; N) = 1/(k·H_N)``.
@@ -27,7 +29,7 @@ class ZipfGenerator:
         cdf = np.cumsum(weights)
         cdf /= cdf[-1]
         self._cdf = cdf
-        self._rng = np.random.default_rng(seed)
+        self._rng = default_generator(seed)
 
     def sample(self, count: int) -> np.ndarray:
         """Draw ``count`` ranks (uint64) following the power law."""
