@@ -1,0 +1,174 @@
+"""Localization precision, repair fidelity, and the bisection cost gate.
+
+Acceptance gates for the localization-and-repair subsystem, written to
+``BENCH_localization.json``:
+
+1. **Window accuracy** (gated ≥95%): inject every Table 4 manipulator
+   into known windows of multi-window runs
+   (:func:`repro.experiments.localization.run_localization_trials`);
+   the per-window check must reject exactly the corrupted window and
+   the repaired window must re-settle ACCEPT with aggregates
+   bit-identical to the clean run (gated: every repaired trial).
+2. **Cost** (gated ≤0.25×): at n = 10^6, localizing a single injected
+   fault from the retained condensations must cost at most a quarter of
+   the original multi-seed check — bisection is logarithmic in the key
+   population, not a second full pass.
+
+``REPRO_BENCH_SMOKE=1`` shrinks trial counts and element sizes and skips
+the artifact/gates, so CI executes every code path cheaply.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import best_of, run_once, smoke_mode, write_artifact
+
+from repro.core.localize import localize_fault
+from repro.core.multiseed import MultiSeedSumChecker, condense_kv
+from repro.core.params import SumCheckConfig
+from repro.experiments.localization import (
+    DEFAULT_MANIPULATORS,
+    run_localization_trials,
+    summarize_trials,
+)
+from repro.faults.manipulators import get_kv_manipulator
+from repro.util.rng import derive_seed, derive_seed_array
+from repro.workloads.kv import aggregate_reference, sum_workload
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_localization.json"
+_CONFIG = SumCheckConfig.parse("8x16 m15")
+_NUM_SEEDS = 2
+_MIN_EXACT_WINDOW_RATE = 0.95
+_MAX_LOCALIZE_OVER_CHECK = 0.25
+
+
+def _accuracy_cell(trials: int) -> dict:
+    batch = run_localization_trials(
+        _CONFIG,
+        trials,
+        windows=3,
+        elements_per_window=2048 if smoke_mode() else 8192,
+        key_domain=256 if smoke_mode() else 2048,
+        num_seeds=_NUM_SEEDS,
+        seed=0xF417,
+    )
+    s = summarize_trials(batch)
+    repaired = [t for t in batch if t.repaired]
+    return {
+        "section": "window-accuracy",
+        "config": _CONFIG.label(),
+        "manipulators": list(DEFAULT_MANIPULATORS),
+        "trials": s.trials,
+        "windows": 3,
+        "exact_window_rate": s.exact_window_rate,
+        "localized_rate": s.localized_rate,
+        "key_cover_rate": s.key_cover_rate,
+        "repair_rate": s.repair_rate,
+        "bit_identical_rate": s.bit_identical_rate,
+        "repaired_all_bit_identical": all(t.bit_identical for t in repaired),
+        "mean_bisection_rounds": s.mean_bisection_rounds,
+        "mean_range_count": s.mean_range_count,
+        "mean_repair_attempts": sum(t.repair_attempts for t in batch)
+        / len(batch),
+    }
+
+
+def _cost_cell(n: int) -> dict:
+    keys, values = sum_workload(n, seed=derive_seed(0xF417, "cost-wl"))
+    out_k, out_v = aggregate_reference(keys, values)
+    man = get_kv_manipulator("Bitflip", rng=derive_seed(0xF417, "cost-fault"))
+    effect = man.apply(None, keys, values)
+    bad_k, bad_v = aggregate_reference(effect.keys, effect.values)
+    seeds = derive_seed_array(
+        derive_seed(0xF417, "cost-check"),
+        "seed",
+        np.arange(_NUM_SEEDS, dtype=np.uint64),
+    )
+    checker = MultiSeedSumChecker(_CONFIG, seeds)
+    cin = condense_kv(keys, values)
+    cbad = condense_kv(bad_k, bad_v)
+    assert not checker.check_local_condensed(cin, cbad).accepted
+    # What a caller retains from the failed check: the condensed sides
+    # and the per-seed ⊕-difference tensor.  Localization starts there.
+    diff = checker.difference(
+        checker.local_tables_condensed(cin),
+        checker.local_tables_condensed(cbad),
+    )
+
+    check_s = best_of(
+        lambda: checker.check_local((keys, values), (bad_k, bad_v)), 3
+    )
+    report = localize_fault(cin, cbad, _CONFIG, seeds, diff=diff)
+    assert report.localized
+    loc_s = best_of(
+        lambda: localize_fault(cin, cbad, _CONFIG, seeds, diff=diff), 3
+    )
+    recompute_s = best_of(lambda: localize_fault(cin, cbad, _CONFIG, seeds), 3)
+    return {
+        "section": "cost",
+        "config": _CONFIG.label(),
+        "elements": int(n),
+        "unique_keys": int(cin.unique_keys.size),
+        "check_seconds": check_s,
+        "localize_seconds": loc_s,
+        "localize_recompute_seconds": recompute_s,
+        "localize_over_check": loc_s / check_s,
+        "bisection_rounds": report.bisection_rounds,
+        "key_ranges": [[int(a), int(b)] for a, b in report.key_ranges],
+    }
+
+
+def test_localization(benchmark, overhead_elements):
+    trials = 12 if smoke_mode() else 120
+    n = overhead_elements if smoke_mode() else max(overhead_elements, 10**6)
+
+    t0 = time.perf_counter()
+    acc = run_once(benchmark, lambda: _accuracy_cell(trials))
+    cost = _cost_cell(n)
+    cells = [acc, cost]
+
+    write_artifact(
+        _ARTIFACT,
+        {
+            "primary": "window-accuracy",
+            "min_exact_window_rate": _MIN_EXACT_WINDOW_RATE,
+            "max_localize_over_check": _MAX_LOCALIZE_OVER_CHECK,
+            "total_seconds": time.perf_counter() - t0,
+            "cells": cells,
+        },
+    )
+    benchmark.extra_info.update(
+        exact_window_rate=acc["exact_window_rate"],
+        localize_over_check=cost["localize_over_check"],
+        artifact=str(_ARTIFACT),
+    )
+    print()
+    print(
+        f"window-accuracy: exact={acc['exact_window_rate']:.3f} "
+        f"repair={acc['repair_rate']:.3f} "
+        f"bit-identical={acc['bit_identical_rate']:.3f} over "
+        f"{acc['trials']} trials"
+    )
+    print(
+        f"cost: localize/check = {cost['localize_over_check']:.3f} "
+        f"({cost['bisection_rounds']} rounds at n={n})"
+    )
+    if not smoke_mode():
+        assert acc["exact_window_rate"] >= _MIN_EXACT_WINDOW_RATE, (
+            f"only {acc['exact_window_rate']:.1%} of single-window faults "
+            f"localized to the exact window "
+            f"(gate {_MIN_EXACT_WINDOW_RATE:.0%})"
+        )
+        assert acc["repaired_all_bit_identical"], (
+            "a repaired window re-settled with aggregates differing from "
+            "the clean run"
+        )
+        ratio = cost["localize_over_check"]
+        assert ratio <= _MAX_LOCALIZE_OVER_CHECK, (
+            f"localization costs {ratio:.2f}x the original check at n={n} "
+            f"(allowed {_MAX_LOCALIZE_OVER_CHECK}x)"
+        )

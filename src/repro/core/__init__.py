@@ -36,6 +36,7 @@ from repro.core.sum_checker import (
     check_count_aggregation,
     check_sum_aggregation,
 )
+from repro.core.localize import FaultReport, localize_fault
 from repro.core.multiseed import MultiSeedHashSumChecker, MultiSeedSumChecker
 from repro.core.streams import (
     AverageCheckerStream,
@@ -76,6 +77,8 @@ __all__ = [
     "PAPER_TABLE3_SCALING",
     "SumCheckConfig",
     "optimize_parameters",
+    "FaultReport",
+    "localize_fault",
     "MultiSeedHashSumChecker",
     "MultiSeedSumChecker",
     "SumAggregationChecker",

@@ -281,6 +281,50 @@ class MultiSeedSumChecker:
                         )
         return tables
 
+    def iter_lane_buckets(self, keys):
+        """Yield ``(seed_index, iteration, bucket_row)`` for every lane.
+
+        ``bucket_row`` is the ``d``-bucket assignment of ``keys`` under
+        seed ``seeds[seed_index]``'s iteration — the same batched
+        :func:`iter_bucket_blocks` pass the table evaluation runs,
+        exposed raw for consumers that intersect bucket memberships
+        (fault localization's guilty-bucket filter).
+        """
+        keys = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64).ravel())
+        k = keys.size
+        if k == 0:
+            return
+        cfg = self.config
+        for start, count, buckets in iter_bucket_blocks(
+            self._family, cfg.d, cfg.iterations, self._bucket_seeds,
+            keys, self.chunk_elements,
+        ):
+            for c in range(count):
+                block = buckets[:, c * k : (c + 1) * k]
+                for j in range(cfg.iterations):
+                    yield start + c, j, block[j]
+
+    def seed_lane_buckets(self, t: int, keys) -> np.ndarray:
+        """Bucket assignments of ``keys`` under seed ``t`` alone.
+
+        Returns shape ``(iterations, len(keys))`` — one hash evaluation
+        per key, all iteration lanes extracted from it.  Lets a consumer
+        process seeds one at a time over a shrinking key set (fault
+        localization's progressive prefilter) instead of paying every
+        seed up front.
+        """
+        keys = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64).ravel())
+        cfg = self.config
+        rows = np.empty((cfg.iterations, keys.size), dtype=np.int64)
+        if keys.size == 0:
+            return rows
+        for start, count, buckets in iter_bucket_blocks(
+            self._family, cfg.d, cfg.iterations,
+            self._bucket_seeds[t : t + 1], keys, self.chunk_elements,
+        ):
+            rows[:, :] = buckets
+        return rows
+
     def _accumulate_supergroups(
         self, condensed: CondensedKV, tables: np.ndarray
     ) -> None:

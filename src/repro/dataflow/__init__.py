@@ -32,10 +32,17 @@ from repro.dataflow.exchange import (
     global_offsets,
 )
 from repro.dataflow.dia import DIA, KeyValueDIA
+from repro.dataflow.repair import (
+    QuarantinedWindow,
+    RepairOutcome,
+    RepairPolicy,
+    repair_reduce_window,
+)
 from repro.dataflow.streaming import (
     StreamingCheckedRun,
     StreamingDIA,
     StreamingKeyValueDIA,
+    WindowRecord,
 )
 from repro.dataflow.ops.map_filter import (
     filter_elements,
@@ -73,9 +80,14 @@ __all__ = [
     "global_offsets",
     "DIA",
     "KeyValueDIA",
+    "QuarantinedWindow",
+    "RepairOutcome",
+    "RepairPolicy",
+    "repair_reduce_window",
     "StreamingCheckedRun",
     "StreamingDIA",
     "StreamingKeyValueDIA",
+    "WindowRecord",
     "filter_elements",
     "map_elements",
     "map_pairs",

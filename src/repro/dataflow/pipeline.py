@@ -48,6 +48,15 @@ class CheckedRunStats:
     accumulate one instance per window via :meth:`merge`: ``windows``
     counts settled windows, ``elements_fed`` the stream elements consumed,
     and ``overhead_ratio`` on the merged stats is the whole run's ratio.
+
+    Rejected-window handling is metered alongside checking cost:
+    ``localized`` flags that at least one failed verdict went through
+    :func:`repro.core.localize.localize_fault` (``bisection_rounds`` and
+    ``localization_seconds`` accumulate its work), ``repaired_windows``
+    counts windows healed by re-execution, ``quarantined_windows`` those
+    that exhausted the retry budget.  Repair-side re-execution time is
+    *not* part of ``overhead_ratio`` — it is replacement work, not
+    checking overhead.
     """
 
     operation_seconds: float
@@ -57,6 +66,11 @@ class CheckedRunStats:
     escalation_seeds: int = 0
     windows: int = 0
     elements_fed: int = 0
+    localized: bool = False
+    bisection_rounds: int = 0
+    localization_seconds: float = 0.0
+    repaired_windows: int = 0
+    quarantined_windows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -78,6 +92,15 @@ class CheckedRunStats:
             escalation_seeds=self.escalation_seeds + other.escalation_seeds,
             windows=self.windows + other.windows,
             elements_fed=self.elements_fed + other.elements_fed,
+            localized=self.localized or other.localized,
+            bisection_rounds=self.bisection_rounds + other.bisection_rounds,
+            localization_seconds=(
+                self.localization_seconds + other.localization_seconds
+            ),
+            repaired_windows=self.repaired_windows + other.repaired_windows,
+            quarantined_windows=(
+                self.quarantined_windows + other.quarantined_windows
+            ),
         )
 
     @classmethod

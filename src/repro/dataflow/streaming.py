@@ -18,26 +18,66 @@ in **windows** of ``chunks_per_window`` chunks:
 
 Per-window :class:`~repro.dataflow.pipeline.CheckedRunStats` accumulate
 into a run-level record (``windows``, ``elements_fed``, merged overhead
-ratio) on the returned :class:`StreamingCheckedRun`.
+ratio) on the returned :class:`StreamingCheckedRun`, and every window
+leaves a :class:`WindowRecord` in ``window_history`` — verdict, seeds
+used, escalation, and (for :meth:`reduce_by_key_checked` with a
+``reexecute`` callback) the localization/repair trail of rejected
+windows.  A rejected window never stalls its successors: it is localized
+(:mod:`repro.core.localize`), re-executed under the bounded retry of a
+:class:`~repro.dataflow.repair.RepairPolicy`, and either healed in place
+or surfaced as a permanent
+:class:`~repro.dataflow.repair.QuarantinedWindow` while the stream keeps
+settling.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.base import CheckResult
+from repro.core.localize import FaultReport, localize_fault
 from repro.core.params import SumCheckConfig
 from repro.core.streams import SumCheckerStream, ZipCheckerStream
 from repro.core.sum_checker import SumAggregationChecker
 from repro.dataflow.ops.reduce_by_key import local_aggregate, reduce_by_key
 from repro.dataflow.ops.zip_op import zip_arrays
 from repro.dataflow.pipeline import AdaptiveCheckPolicy, CheckedRunStats
-from repro.util.rng import derive_seed
+from repro.dataflow.repair import (
+    QuarantinedWindow,
+    RepairPolicy,
+    repair_reduce_window,
+)
+from repro.util.rng import derive_seed, derive_seed_array
 
 _DEFAULT_CONFIG = SumCheckConfig(iterations=8, d=16, rhat=1 << 15)
+
+
+@dataclass
+class WindowRecord:
+    """One window's verdict history entry.
+
+    ``verdict`` is the window's *final* verdict (the healing re-settle
+    when a repair succeeded; the original rejection otherwise) and
+    ``seeds_used`` every checker root seed spent on the window — primary,
+    escalation lanes, and repair re-settle roots in order.  ``report``
+    carries the :class:`~repro.core.localize.FaultReport` when a failed
+    verdict was localized.
+    """
+
+    window: int
+    verdict: CheckResult
+    accepted: bool
+    seed: int
+    seeds_used: list[int]
+    escalated: bool = False
+    escalation_seeds: int = 0
+    repair_attempts: int = 0
+    repaired: bool = False
+    quarantined: bool = False
+    report: FaultReport | None = None
 
 
 @dataclass
@@ -46,8 +86,11 @@ class StreamingCheckedRun:
 
     ``outputs[w]`` is window ``w``'s operation result (shape depends on
     the operation; empty when the run was started with
-    ``keep_outputs=False`` for unbounded feeds), ``verdicts[w]`` its
-    :class:`CheckResult`, and ``stats`` the merged per-window
+    ``keep_outputs=False`` for unbounded feeds; the healed result for a
+    repaired window), ``verdicts[w]`` its final :class:`CheckResult`,
+    ``window_history[w]`` the full :class:`WindowRecord` (verdict, seeds
+    used, escalation, repair trail), ``quarantined`` the permanently
+    failed windows, and ``stats`` the merged per-window
     :class:`CheckedRunStats` (``stats.windows`` settled windows,
     ``stats.elements_fed`` stream elements consumed).
     """
@@ -57,17 +100,21 @@ class StreamingCheckedRun:
     stats: CheckedRunStats = field(
         default_factory=lambda: CheckedRunStats(0.0, 0.0)
     )
+    window_history: list[WindowRecord] = field(default_factory=list)
+    quarantined: list[QuarantinedWindow] = field(default_factory=list)
 
     @property
     def accepted(self) -> bool:
-        """True iff every settled window's verdict accepted."""
+        """True iff every settled window's final verdict accepted."""
         return all(v.accepted for v in self.verdicts)
 
-    def _add_window(self, output, verdict, stats, keep_outputs):
+    def _add_window(self, output, verdict, stats, keep_outputs, record=None):
         if keep_outputs:
             self.outputs.append(output)
         self.verdicts.append(verdict)
         self.stats = self.stats.merge(stats)
+        if record is not None:
+            self.window_history.append(record)
 
 
 def _window_seed(seed: int, window: int) -> int:
@@ -200,7 +247,8 @@ class StreamingDIA(_ChunkSource):
                 checker_seconds=checker_s + (t1 - t_op_done),
                 elements=elements,
             )
-            run._add_window(total, verdict, stats, keep_outputs)
+            record = _window_record(w, verdict, _window_seed(seed, w), policy)
+            run._add_window(total, verdict, stats, keep_outputs, record)
             w += 1
         return run
 
@@ -290,7 +338,8 @@ class StreamingDIA(_ChunkSource):
                 windows=1,
                 elements_fed=int(w1.size + w2.size),
             )
-            run._add_window((first, second), verdict, stats, keep_outputs)
+            record = _window_record(w, verdict, seed_w, policy)
+            run._add_window((first, second), verdict, stats, keep_outputs, record)
             w += 1
         return run
 
@@ -327,6 +376,8 @@ class StreamingKeyValueDIA(_ChunkSource):
         chunks_per_window: int = 8,
         policy: AdaptiveCheckPolicy | None = None,
         keep_outputs: bool = True,
+        reexecute=None,
+        repair: RepairPolicy | None = None,
     ) -> StreamingCheckedRun:
         """Windowed ReduceByKey + Theorem 1 checker, one settle per window.
 
@@ -335,8 +386,21 @@ class StreamingKeyValueDIA(_ChunkSource):
         runs one key-partitioned exchange and settles one verdict.  With a
         ``policy`` the settle is adaptive: 1 seed inline, escalation lanes
         evaluated against the window's already-condensed aggregates.
+
+        With a ``reexecute(window_id, key_ranges)`` callback (see
+        :mod:`repro.dataflow.repair` for the contract) a rejected window
+        is localized against the stream's retained condensations, then
+        repaired under bounded retry and either healed in place (its
+        output and verdict replaced by the accepted re-execution) or
+        appended to ``run.quarantined`` — subsequent windows settle
+        regardless.  ``repair`` customizes the
+        :class:`~repro.dataflow.repair.RepairPolicy` (defaulted when only
+        ``reexecute`` is given); the callback must be supplied on every
+        PE or none, like any other collective argument.
         """
         config = config or _DEFAULT_CONFIG
+        if reexecute is not None and repair is None:
+            repair = RepairPolicy()
         run = StreamingCheckedRun()
         w = 0
         while True:
@@ -385,7 +449,71 @@ class StreamingKeyValueDIA(_ChunkSource):
                 checker_seconds=checker_s,
                 elements=elements,
             )
-            run._add_window((out_k, out_v), verdict, stats, keep_outputs)
+            seed_w = _window_seed(seed, w)
+            record = _window_record(w, verdict, seed_w, policy)
+            output = (out_k, out_v)
+            ok = bool(verdict.accepted)
+            if not ok and reexecute is not None:
+                report = None
+                if repair.localize:
+                    loc_seeds = derive_seed_array(
+                        seed_w,
+                        "localize",
+                        np.arange(repair.localization_seeds, dtype=np.uint64),
+                    )
+                    report = localize_fault(
+                        stream.condensed_input(),
+                        stream.condensed_output(),
+                        config,
+                        loc_seeds,
+                        self.comm,
+                        window=w,
+                        max_rounds=repair.max_rounds,
+                        max_ranges=repair.max_ranges,
+                    )
+                    record.seeds_used += [int(s) for s in loc_seeds]
+                outcome = repair_reduce_window(
+                    self.comm,
+                    window=w,
+                    window_seed=seed_w,
+                    config=config,
+                    reexecute=reexecute,
+                    old_output=output,
+                    policy=repair,
+                    report=report,
+                    partitioner=partitioner,
+                )
+                record.report = report
+                record.repair_attempts = outcome.attempts
+                for attempt in range(outcome.attempts):
+                    record.seeds_used += [
+                        int(s)
+                        for s in repair.attempt_seed_roots(seed_w, attempt)
+                    ]
+                if outcome.healed:
+                    output = outcome.output
+                    verdict = outcome.verdicts[-1]
+                    record.verdict = verdict
+                    record.accepted = True
+                    record.repaired = True
+                else:
+                    record.quarantined = True
+                    run.quarantined.append(outcome.quarantine())
+                stats = replace(
+                    stats,
+                    localized=bool(report is not None and report.localized),
+                    bisection_rounds=(
+                        report.bisection_rounds if report is not None else 0
+                    ),
+                    localization_seconds=(
+                        report.localization_seconds
+                        if report is not None
+                        else 0.0
+                    ),
+                    repaired_windows=1 if outcome.healed else 0,
+                    quarantined_windows=0 if outcome.healed else 1,
+                )
+            run._add_window(output, verdict, stats, keep_outputs, record)
             w += 1
         return run
 
@@ -397,8 +525,15 @@ class StreamingKeyValueDIA(_ChunkSource):
         chunks_per_window: int = 8,
         policy: AdaptiveCheckPolicy | None = None,
         keep_outputs: bool = True,
+        reexecute=None,
+        repair: RepairPolicy | None = None,
     ) -> StreamingCheckedRun:
-        """Windowed per-key counting (§4: sum aggregation of ones)."""
+        """Windowed per-key counting (§4: sum aggregation of ones).
+
+        A ``reexecute`` callback repairs rejected windows exactly as in
+        :meth:`reduce_by_key_checked`; it must yield ``(keys, ones)``
+        pairs — the counting view of the window's source chunks.
+        """
         ones = StreamingKeyValueDIA(
             self.comm,
             (
@@ -413,6 +548,8 @@ class StreamingKeyValueDIA(_ChunkSource):
             chunks_per_window=chunks_per_window,
             policy=policy,
             keep_outputs=keep_outputs,
+            reexecute=reexecute,
+            repair=repair,
         )
 
 
@@ -422,6 +559,31 @@ def _concat(parts: list, dtype=None) -> np.ndarray:
     if not arrays:
         return np.zeros(0, dtype=dtype if dtype is not None else np.int64)
     return np.concatenate(arrays)
+
+
+def _window_record(
+    window: int,
+    verdict: CheckResult,
+    seed_w: int,
+    policy: AdaptiveCheckPolicy | None,
+) -> WindowRecord:
+    """The window's history entry as first settled (pre-repair)."""
+    adaptive = verdict.details.get("adaptive")
+    escalated = bool(adaptive and adaptive["escalated"])
+    seeds_used = [int(seed_w)]
+    if escalated and policy is not None:
+        seeds_used += [int(s) for s in policy.resolve_seeds(seed_w)]
+    return WindowRecord(
+        window=window,
+        verdict=verdict,
+        accepted=bool(verdict.accepted),
+        seed=int(seed_w),
+        seeds_used=seeds_used,
+        escalated=escalated,
+        escalation_seeds=(
+            int(adaptive["num_escalation_seeds"]) if escalated else 0
+        ),
+    )
 
 
 def _window_stats(
@@ -453,4 +615,5 @@ __all__ = [
     "StreamingCheckedRun",
     "StreamingDIA",
     "StreamingKeyValueDIA",
+    "WindowRecord",
 ]

@@ -8,6 +8,8 @@ overhead     Table 5, §7.2 running-time paragraphs           overhead
 scaling      Fig 4 (weak scaling overhead ratio)             scaling
 volume       Table 1's communication claims                  volume
 parameters   Table 2 (optimizer), Table 3 (configurations)   core.params
+localization fault localization & repair accuracy (repo       localization
+             extension past the paper's detect-only scope)
 ===========  =============================================  ==============
 """
 
@@ -31,6 +33,13 @@ from repro.experiments.scaling import (
     measured_weak_scaling,
     modeled_weak_scaling,
 )
+from repro.experiments.localization import (
+    LocalizationSummary,
+    LocalizationTrial,
+    localization_accuracy,
+    run_localization_trials,
+    summarize_trials,
+)
 from repro.experiments.volume import VolumeRow, checker_volume_table
 from repro.experiments.report import format_series, format_table
 
@@ -49,6 +58,11 @@ __all__ = [
     "ScalingPoint",
     "measured_weak_scaling",
     "modeled_weak_scaling",
+    "LocalizationSummary",
+    "LocalizationTrial",
+    "localization_accuracy",
+    "run_localization_trials",
+    "summarize_trials",
     "VolumeRow",
     "checker_volume_table",
     "format_series",

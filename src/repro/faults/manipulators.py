@@ -30,9 +30,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.rng import SplitMixStreamBatch
+from repro.util.rng import SplitMixStreamBatch, default_generator
 
 _MAX_REDRAWS = 64
+
+
+def _resolve_rng(rng):
+    """Coerce an ``rng=`` argument to a draw source.
+
+    Integers are root seeds, resolved through the sanctioned
+    :func:`repro.util.rng.default_generator` bridge so injection stays
+    replayable (and the ``determinism`` lint rule keeps exactly one
+    generator constructor to whitelist).  Generators and
+    :class:`~repro.util.rng.SplitMixStream` objects pass through; ``None``
+    stays ``None`` (meaning "use the manipulator's bound generator").
+    """
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return default_generator(int(rng))
+    return rng
 
 
 @dataclass
@@ -132,9 +149,26 @@ def _consolidate_batch(
 
 
 class KVManipulator:
-    """Base class; subclasses draw a fault and describe its aggregate delta."""
+    """Base class; subclasses draw a fault and describe its aggregate delta.
+
+    ``rng=`` (an int root seed or a generator) binds a default draw source
+    at construction; per-call ``rng`` arguments override it.
+    """
 
     name: str = "?"
+
+    def __init__(self, rng=None):
+        self.rng = _resolve_rng(rng)
+
+    def _resolve(self, rng):
+        rng = _resolve_rng(rng)
+        if rng is None:
+            rng = self.rng
+        if rng is None:
+            raise ValueError(
+                f"{self.name}: pass rng= here or bind one at construction"
+            )
+        return rng
 
     def _draw(self, rng: np.random.Generator, keys, values):
         """Return (delta_keys, delta_values, edits) for one fault.
@@ -144,8 +178,13 @@ class KVManipulator:
         """
         raise NotImplementedError
 
-    def sample_delta(self, rng: np.random.Generator, keys, values) -> KVManipulation:
-        """Draw a fault; report only its per-key aggregate deltas (fast path)."""
+    def sample_delta(self, rng, keys, values) -> KVManipulation:
+        """Draw a fault; report only its per-key aggregate deltas (fast path).
+
+        ``rng`` may be a generator, an int root seed, or ``None`` to use
+        the generator bound at construction.
+        """
+        rng = self._resolve(rng)
         for _ in range(_MAX_REDRAWS):
             dk, dv, _ = self._draw(rng, keys, values)
             if dk.size:
@@ -155,8 +194,12 @@ class KVManipulator:
             f"{_MAX_REDRAWS} attempts (degenerate input?)"
         )
 
-    def apply(self, rng: np.random.Generator, keys, values) -> KVManipulation:
-        """Draw a fault; return the manipulated copy plus its deltas."""
+    def apply(self, rng, keys, values) -> KVManipulation:
+        """Draw a fault; return the manipulated copy plus its deltas.
+
+        ``rng`` resolves exactly as in :meth:`sample_delta`.
+        """
+        rng = self._resolve(rng)
         for _ in range(_MAX_REDRAWS):
             dk, dv, edits = self._draw(rng, keys, values)
             if dk.size:
@@ -230,7 +273,8 @@ class Bitflip(KVManipulator):
 
     name = "Bitflip"
 
-    def __init__(self, key_bits: int = 20, value_bits: int = 21):
+    def __init__(self, key_bits: int = 20, value_bits: int = 21, rng=None):
+        super().__init__(rng)
         self.key_bits = key_bits
         self.value_bits = value_bits
 
@@ -267,7 +311,8 @@ class RandKey(KVManipulator):
 
     name = "RandKey"
 
-    def __init__(self, key_domain: int = 10**6):
+    def __init__(self, key_domain: int = 10**6, rng=None):
+        super().__init__(rng)
         self.key_domain = key_domain
 
     def _draw(self, rng, keys, values):
@@ -345,7 +390,8 @@ class IncDec(KVManipulator):
     within a bucket.
     """
 
-    def __init__(self, n: int = 1):
+    def __init__(self, n: int = 1, rng=None):
+        super().__init__(rng)
         if n < 1:
             raise ValueError(f"IncDec needs n >= 1, got {n}")
         self.n = n
@@ -425,16 +471,38 @@ class IncDec(KVManipulator):
 
 
 class SeqManipulator:
-    """Base class for single-element sequence manipulators."""
+    """Base class for single-element sequence manipulators.
+
+    ``rng=`` binds a default draw source exactly as for
+    :class:`KVManipulator`.
+    """
 
     name: str = "?"
+
+    def __init__(self, rng=None):
+        self.rng = _resolve_rng(rng)
+
+    def _resolve(self, rng):
+        rng = _resolve_rng(rng)
+        if rng is None:
+            rng = self.rng
+        if rng is None:
+            raise ValueError(
+                f"{self.name}: pass rng= here or bind one at construction"
+            )
+        return rng
 
     def _draw(self, rng: np.random.Generator, seq):
         """Return (index, new_value) or None if the draw was a no-op."""
         raise NotImplementedError
 
-    def sample_change(self, rng: np.random.Generator, seq) -> SeqManipulation:
-        """Draw a fault; report only the removed/added elements."""
+    def sample_change(self, rng, seq) -> SeqManipulation:
+        """Draw a fault; report only the removed/added elements.
+
+        ``rng`` may be a generator, an int root seed, or ``None`` to use
+        the generator bound at construction.
+        """
+        rng = self._resolve(rng)
         for _ in range(_MAX_REDRAWS):
             drawn = self._draw(rng, seq)
             if drawn is not None:
@@ -446,8 +514,12 @@ class SeqManipulator:
                 )
         raise RuntimeError(f"{self.name}: no effective fault in {_MAX_REDRAWS} draws")
 
-    def apply(self, rng: np.random.Generator, seq) -> SeqManipulation:
-        """Draw a fault; return the manipulated sequence plus the change."""
+    def apply(self, rng, seq) -> SeqManipulation:
+        """Draw a fault; return the manipulated sequence plus the change.
+
+        ``rng`` resolves exactly as in :meth:`sample_change`.
+        """
+        rng = self._resolve(rng)
         for _ in range(_MAX_REDRAWS):
             drawn = self._draw(rng, seq)
             if drawn is not None:
@@ -501,7 +573,8 @@ class SeqBitflip(SeqManipulator):
 
     name = "Bitflip"
 
-    def __init__(self, bit_width: int = 27):
+    def __init__(self, bit_width: int = 27, rng=None):
+        super().__init__(rng)
         self.bit_width = bit_width
 
     def _draw(self, rng, seq):
@@ -537,7 +610,8 @@ class Randomize(SeqManipulator):
 
     name = "Randomize"
 
-    def __init__(self, universe: int = 10**8):
+    def __init__(self, universe: int = 10**8, rng=None):
+        super().__init__(rng)
         self.universe = universe
 
     def _draw(self, rng, seq):
@@ -600,8 +674,8 @@ SUM_MANIPULATORS: dict[str, type | object] = {
     "RandKey": RandKey,
     "SwitchValues": SwitchValues,
     "IncKey": IncKey,
-    "IncDec1": lambda: IncDec(1),
-    "IncDec2": lambda: IncDec(2),
+    "IncDec1": lambda **kw: IncDec(1, **kw),
+    "IncDec2": lambda **kw: IncDec(2, **kw),
 }
 
 PERM_MANIPULATORS: dict[str, type | object] = {
@@ -621,7 +695,7 @@ def get_kv_manipulator(name: str, **kwargs) -> KVManipulator:
         raise KeyError(
             f"unknown sum manipulator {name!r}; available: {sorted(SUM_MANIPULATORS)}"
         ) from None
-    return factory(**kwargs) if kwargs else factory()
+    return factory(**kwargs)
 
 
 def get_seq_manipulator(name: str, **kwargs) -> SeqManipulator:
@@ -633,4 +707,4 @@ def get_seq_manipulator(name: str, **kwargs) -> SeqManipulator:
             f"unknown sequence manipulator {name!r}; "
             f"available: {sorted(PERM_MANIPULATORS)}"
         ) from None
-    return factory(**kwargs) if kwargs else factory()
+    return factory(**kwargs)

@@ -267,3 +267,82 @@ class TestReport:
         out = format_series("s", [1, 2], [0.5, 0.7], "p", "ratio")
         assert "s: p -> ratio" in out
         assert len(out.splitlines()) == 3
+
+
+class TestLocalizationHarness:
+    CONFIG = SumCheckConfig.parse("4x16 m15")
+
+    def _trials(self, n=6, **kw):
+        from repro.experiments.localization import run_localization_trials
+
+        kw.setdefault("windows", 2)
+        kw.setdefault("elements_per_window", 512)
+        kw.setdefault("key_domain", 64)
+        kw.setdefault("seed", 3)
+        return run_localization_trials(self.CONFIG, n, **kw)
+
+    def test_trials_detect_localize_and_repair(self):
+        from repro.experiments.localization import DEFAULT_MANIPULATORS
+
+        batch = self._trials(len(DEFAULT_MANIPULATORS))
+        # One trial per Table 4 manipulator, targets cycling the windows.
+        assert [t.manipulator for t in batch] == list(DEFAULT_MANIPULATORS)
+        assert {t.target_window for t in batch} == {0, 1}
+        for t in batch:
+            assert t.exact_window, t.manipulator
+            assert t.localized, t.manipulator
+            assert t.keys_covered, t.manipulator
+            assert t.repaired, t.manipulator
+            assert t.bit_identical, t.manipulator
+            assert t.repair_attempts >= 1
+
+    def test_batch_is_bit_reproducible(self):
+        from dataclasses import asdict
+
+        def outcome(t):
+            d = asdict(t)
+            d.pop("check_seconds")
+            d.pop("localization_seconds")
+            return d
+
+        a = self._trials(4)
+        b = self._trials(4)
+        # Identical up to wall-clock: workloads, faults, verdicts, ranges.
+        assert [outcome(t) for t in a] == [outcome(t) for t in b]
+
+    def test_summary_rates(self):
+        from repro.experiments.localization import summarize_trials
+
+        batch = self._trials(6)
+        s = summarize_trials(batch)
+        assert s.trials == 6
+        assert s.exact_window_rate == 1.0
+        assert s.localized_rate == 1.0
+        assert s.key_cover_rate == 1.0
+        assert s.repair_rate == 1.0
+        assert s.bit_identical_rate == 1.0
+        assert s.mean_bisection_rounds >= 0.0
+        assert s.mean_check_seconds > 0.0
+
+    def test_accuracy_wrapper(self):
+        from repro.experiments.localization import (
+            LocalizationSummary,
+            localization_accuracy,
+        )
+
+        s = localization_accuracy(
+            self.CONFIG,
+            2,
+            windows=2,
+            elements_per_window=512,
+            key_domain=64,
+            seed=5,
+        )
+        assert isinstance(s, LocalizationSummary)
+        assert s.trials == 2
+
+    def test_rejects_empty_batch(self):
+        from repro.experiments.localization import run_localization_trials
+
+        with pytest.raises(ValueError):
+            run_localization_trials(self.CONFIG, 0)

@@ -242,3 +242,75 @@ class TestBatchedSampling:
                 rng, np.arange(8, dtype=np.uint64), np.ones(8, dtype=np.int64),
                 trials=5,
             )
+
+
+class TestRngBinding:
+    """The ``rng=`` plumbing: int seeds, bound generators, overrides."""
+
+    def test_bound_int_seed_is_reproducible(self, workload):
+        keys, values = workload
+        a = get_kv_manipulator("Bitflip", rng=7).apply(None, keys, values)
+        b = get_kv_manipulator("Bitflip", rng=7).apply(None, keys, values)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.delta_keys, b.delta_keys)
+        assert np.array_equal(a.delta_values, b.delta_values)
+
+    def test_per_call_int_matches_default_generator(self, workload):
+        from repro.util.rng import default_generator
+
+        keys, values = workload
+        man = get_kv_manipulator("IncKey")
+        via_int = man.apply(42, keys, values)
+        via_gen = man.apply(default_generator(42), keys, values)
+        assert np.array_equal(via_int.delta_keys, via_gen.delta_keys)
+        assert np.array_equal(via_int.delta_values, via_gen.delta_values)
+
+    def test_per_call_rng_overrides_bound(self, workload):
+        keys, values = workload
+        bound = get_kv_manipulator("Bitflip", rng=1)
+        override = bound.apply(99, keys, values)
+        fresh = get_kv_manipulator("Bitflip").apply(99, keys, values)
+        assert np.array_equal(override.delta_keys, fresh.delta_keys)
+        assert np.array_equal(override.delta_values, fresh.delta_values)
+
+    def test_missing_rng_raises_with_name(self, workload):
+        keys, values = workload
+        man = get_kv_manipulator("SwitchValues")
+        with pytest.raises(ValueError, match="SwitchValues"):
+            man.apply(None, keys, values)
+        with pytest.raises(ValueError, match="rng="):
+            man.sample_delta(None, keys, values)
+
+    def test_seq_manipulators_accept_rng(self):
+        seq = np.arange(1, 200, dtype=np.uint64)
+        a = get_seq_manipulator("Bitflip", rng=5).apply(None, seq)
+        b = get_seq_manipulator("Bitflip", rng=5).apply(None, seq)
+        assert np.array_equal(a.sequence, b.sequence)
+        man = get_seq_manipulator("Increment")
+        with pytest.raises(ValueError, match="rng="):
+            man.apply(None, seq)
+
+    def test_every_registry_factory_accepts_rng_kwarg(self, workload):
+        keys, values = workload
+        for name in SUM_MANIPULATORS:
+            kwargs = {"rng": 3}
+            if name == "RandKey":
+                kwargs["key_domain"] = 50
+            man = get_kv_manipulator(name, **kwargs)
+            assert man.apply(None, keys, values).delta_keys.size > 0
+        seq = np.arange(1, 100, dtype=np.uint64)
+        for name in PERM_MANIPULATORS:
+            kwargs = {"rng": 3}
+            if name == "Randomize":
+                kwargs["universe"] = 10**3
+            man = get_seq_manipulator(name, **kwargs)
+            assert man.apply(None, seq).sequence.size == seq.size
+
+    def test_unknown_name_lists_sorted_roster(self):
+        with pytest.raises(KeyError) as kv_err:
+            get_kv_manipulator("Gremlin")
+        assert str(sorted(SUM_MANIPULATORS)) in str(kv_err.value)
+        with pytest.raises(KeyError) as seq_err:
+            get_seq_manipulator("Gremlin")
+        assert str(sorted(PERM_MANIPULATORS)) in str(seq_err.value)
