@@ -1,0 +1,180 @@
+"""Chaos soak of the checked streaming service: detection and isolation.
+
+Acceptance gates for the always-on service, written to ``BENCH_soak.json``:
+
+1. **Detection** (gated, asserted even in smoke): a multi-tenant soak
+   (≥8 tenants cycling reduce/sum/zip/count) with randomized Table 4 /
+   Table 6 fault injection must leave **zero undetected corruptions
+   beyond the analytic allowance**
+   (:func:`repro.experiments.accuracy.detection_allowance` of the
+   Fig 3 / Fig 5 failure bounds), every healed window **bit-identical**
+   to the clean ground truth, and every tenant's worker alive.
+2. **Isolation** (latency gate full-scale only): re-running the same
+   8 base tenants next to always-faulting, fully persistent chaos
+   tenants must (a) leave the base tenants' audited outcomes exactly
+   unchanged and (b) keep their worst per-tenant p50 settle latency
+   within ``_MAX_STALL_FACTOR`` of the chaos-free baseline (plus a
+   small absolute slack for scheduler noise) — a quarantined tenant
+   never stalls a healthy tenant's windows.
+
+``REPRO_BENCH_SMOKE=1`` shrinks windows and chunk sizes and skips the
+artifact/latency gate; the correctness gates always run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import run_once, smoke_mode, write_artifact
+
+from repro.service import SoakConfig, run_soak
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_soak.json"
+_MAX_STALL_FACTOR = 5.0
+_STALL_SLACK_S = 0.05
+_EXTRA_CHAOS = 4
+
+
+def _detection_config() -> SoakConfig:
+    smoke = smoke_mode()
+    return SoakConfig(
+        tenants=8,
+        windows_per_tenant=2 if smoke else 6,
+        chunks_per_window=2 if smoke else 4,
+        chunk_size=128 if smoke else 1024,
+        key_domain=64 if smoke else 256,
+        fault_rate=0.5,
+        persistent_share=0.3,
+        seed=0x50AC,
+    )
+
+
+def _isolation_config() -> SoakConfig:
+    smoke = smoke_mode()
+    return SoakConfig(
+        tenants=8,
+        windows_per_tenant=2 if smoke else 4,
+        chunks_per_window=2 if smoke else 4,
+        chunk_size=128 if smoke else 1024,
+        key_domain=64 if smoke else 256,
+        fault_rate=0.15,
+        persistent_share=0.25,
+        seed=0x150A,
+    )
+
+
+def _logical(report, names):
+    drop = {"rsp_avg", "rsp_max"}
+    return {
+        t.name: {k: v for k, v in t.to_payload().items() if k not in drop}
+        for t in report.tenants
+        if t.name in names
+    }
+
+
+def _assert_detection(report) -> None:
+    assert report.injected > 0, "the soak injected nothing — dead harness"
+    for t in report.tenants:
+        assert t.error is None, f"tenant {t.name} worker died: {t.error}"
+        assert t.detected + t.benign_no_ops + t.undetected == t.injected
+        assert t.undetected <= t.allowance, (
+            f"tenant {t.name} ({t.op.value}): {t.undetected} undetected "
+            f"corruptions exceed the analytic allowance {t.allowance} "
+            f"(delta={t.delta:.3g} over {t.injected} injections)"
+        )
+    assert report.repairs_bit_identical, (
+        "a repaired window's output differs from the clean ground truth"
+    )
+
+
+def _detection_cell(report, cfg) -> dict:
+    return {
+        "section": "detection",
+        "tenants": cfg.tenants,
+        "windows": report.windows,
+        "injected": report.injected,
+        "detected": report.detected,
+        "repaired": report.repaired,
+        "quarantined": report.quarantined,
+        "undetected": report.undetected,
+        "within_allowance": report.within_allowance,
+        "repairs_bit_identical": report.repairs_bit_identical,
+        "elapsed_seconds": report.elapsed_seconds,
+        "per_tenant": [t.to_payload() for t in report.tenants],
+    }
+
+
+def test_soak(benchmark):
+    t0 = time.perf_counter()
+
+    det_cfg = _detection_config()
+    det = run_once(benchmark, lambda: run_soak(det_cfg))
+    _assert_detection(det)
+
+    iso_cfg = _isolation_config()
+    base = run_soak(iso_cfg)
+    mixed = run_soak(replace(iso_cfg, extra_chaos_tenants=_EXTRA_CHAOS))
+    _assert_detection(base)
+    _assert_detection(mixed)
+    base_names = {t.name for t in base.tenants}
+    # Hard isolation: chaos neighbors change nothing about the base
+    # tenants' audited outcomes (same seeds → same windows, verdicts,
+    # repairs), only — boundedly — their latency.
+    assert _logical(base, base_names) == _logical(mixed, base_names), (
+        "chaos tenants changed a base tenant's audited outcome"
+    )
+    p50_base = max(
+        base.service_report[n]["latency_p50"] for n in sorted(base_names)
+    )
+    p50_mixed = max(
+        mixed.service_report[n]["latency_p50"] for n in sorted(base_names)
+    )
+    stall_bound = _MAX_STALL_FACTOR * p50_base + _STALL_SLACK_S
+
+    cells = [
+        _detection_cell(det, det_cfg),
+        {
+            "section": "isolation",
+            "tenants": iso_cfg.tenants,
+            "extra_chaos_tenants": _EXTRA_CHAOS,
+            "base_worst_p50_seconds": p50_base,
+            "mixed_worst_p50_seconds": p50_mixed,
+            "stall_bound_seconds": stall_bound,
+            "stall_factor_gate": _MAX_STALL_FACTOR,
+            "base_outcomes_unchanged": True,
+            "mixed_quarantined": mixed.quarantined,
+        },
+    ]
+    write_artifact(
+        _ARTIFACT,
+        {
+            "primary": "detection",
+            "total_seconds": time.perf_counter() - t0,
+            "cells": cells,
+        },
+    )
+    benchmark.extra_info.update(
+        injected=det.injected,
+        undetected=det.undetected,
+        mixed_worst_p50=p50_mixed,
+        artifact=str(_ARTIFACT),
+    )
+    print()
+    print(
+        f"detection: {det.injected} injected / {det.detected} detected / "
+        f"{det.repaired} repaired / {det.quarantined} quarantined / "
+        f"{det.undetected} undetected over {det.windows} windows "
+        f"({det_cfg.tenants} tenants)"
+    )
+    print(
+        f"isolation: worst base-tenant p50 {p50_base * 1e3:.1f}ms alone vs "
+        f"{p50_mixed * 1e3:.1f}ms beside {_EXTRA_CHAOS} chaos tenants "
+        f"(bound {stall_bound * 1e3:.1f}ms)"
+    )
+    if not smoke_mode():
+        assert p50_mixed <= stall_bound, (
+            f"chaos neighbors stalled healthy tenants: worst p50 "
+            f"{p50_mixed:.3f}s vs bound {stall_bound:.3f}s"
+        )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Checked streaming service demo: multi-tenant soak under live faults.
+
+Runs the always-on daemon with ten tenants (reduce/sum/zip/count plus two
+always-faulting chaos tenants), injects the paper's Table 4/6 manipulators
+into live windows, and prints the per-tenant report: injected faults are
+detected by the checkers, transient ones healed in place bit-identically,
+persistent ones quarantined — while clean tenants sail through untouched.
+
+    python examples/checked_service_demo.py
+"""
+
+from repro.service import SoakConfig, run_soak
+
+
+def main() -> None:
+    cfg = SoakConfig(
+        tenants=8,
+        windows_per_tenant=4,
+        chunks_per_window=4,
+        chunk_size=512,
+        fault_rate=0.4,
+        persistent_share=0.3,
+        seed=0xD140,
+        extra_chaos_tenants=2,
+    )
+    print(
+        f"soaking {cfg.tenants} tenants (+{cfg.extra_chaos_tenants} chaos) "
+        f"x {cfg.windows_per_tenant} windows "
+        f"of {cfg.chunks_per_window} x {cfg.chunk_size} elements, "
+        f"fault rate {cfg.fault_rate:.0%} "
+        f"({cfg.persistent_share:.0%} persistent)...\n"
+    )
+    report = run_soak(cfg)
+    print(report.table())
+    print()
+    verdicts = [
+        ("every injection detected or provably benign",
+         all(t.detected + t.benign_no_ops == t.injected for t in report.tenants)),
+        ("undetected corruptions within analytic allowance",
+         report.within_allowance),
+        ("healed windows bit-identical to clean run",
+         report.repairs_bit_identical),
+        ("no tenant worker crashed",
+         all(t.error is None for t in report.tenants)),
+    ]
+    for label, ok in verdicts:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,12 +37,18 @@ from repro.dataflow.repair import (
     RepairOutcome,
     RepairPolicy,
     repair_reduce_window,
+    repair_sum_window,
+    repair_zip_window,
 )
 from repro.dataflow.streaming import (
     StreamingCheckedRun,
     StreamingDIA,
     StreamingKeyValueDIA,
     WindowRecord,
+    settle_reduce_window,
+    settle_sum_window,
+    settle_zip_window,
+    window_seed,
 )
 from repro.dataflow.ops.map_filter import (
     filter_elements,
@@ -68,6 +74,7 @@ from repro.dataflow.ops.aggregates import (
 )
 from repro.dataflow.pipeline import (
     CheckedRunStats,
+    StatsAccumulator,
     checked_join,
     checked_reduce_by_key,
     checked_sort,
@@ -84,10 +91,16 @@ __all__ = [
     "RepairOutcome",
     "RepairPolicy",
     "repair_reduce_window",
+    "repair_sum_window",
+    "repair_zip_window",
     "StreamingCheckedRun",
     "StreamingDIA",
     "StreamingKeyValueDIA",
     "WindowRecord",
+    "settle_reduce_window",
+    "settle_sum_window",
+    "settle_zip_window",
+    "window_seed",
     "filter_elements",
     "map_elements",
     "map_pairs",
@@ -109,6 +122,7 @@ __all__ = [
     "median_by_key",
     "min_by_key",
     "CheckedRunStats",
+    "StatsAccumulator",
     "checked_join",
     "checked_reduce_by_key",
     "checked_sort",

@@ -16,6 +16,7 @@ never takes a second pass over the raw data.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -81,7 +82,16 @@ class CheckedRunStats:
         )
 
     def merge(self, other: "CheckedRunStats") -> "CheckedRunStats":
-        """Accumulate another (window's) stats into a combined record."""
+        """Accumulate another (window's) stats into a combined record.
+
+        ``merge`` is pure — it returns a fresh record and never mutates
+        either operand — so the *ownership rule* for concurrent use is:
+        a ``stats = stats.merge(new)`` read-modify-write cycle must have
+        exactly one writer (e.g. the single worker thread that settles a
+        tenant's windows).  Cross-thread accumulation (many tenants into
+        one run record) must go through :class:`StatsAccumulator`, which
+        serializes the cycle under a lock.
+        """
         return CheckedRunStats(
             operation_seconds=self.operation_seconds + other.operation_seconds,
             checker_seconds=self.checker_seconds + other.checker_seconds,
@@ -122,6 +132,36 @@ class CheckedRunStats:
                 return 1.0
             return float("inf")
         return self.total_seconds / self.operation_seconds
+
+
+class StatsAccumulator:
+    """Thread-safe accumulation of :class:`CheckedRunStats`.
+
+    ``CheckedRunStats.merge`` is pure, so the only concurrency hazard is
+    the read-modify-write cycle around it: two threads that both read the
+    current total, merge their window, and write back will silently drop
+    one window.  This accumulator owns that cycle under a lock — the
+    multi-tenant service daemon pushes every tenant's per-window stats
+    through one instance and reads an exact run-level total at any time.
+    """
+
+    def __init__(self, initial: CheckedRunStats | None = None):
+        self._lock = threading.Lock()
+        self._total = (
+            initial
+            if initial is not None
+            else CheckedRunStats(operation_seconds=0.0, checker_seconds=0.0)
+        )
+
+    def add(self, stats: CheckedRunStats) -> None:
+        """Merge one (window's) stats record into the running total."""
+        with self._lock:
+            self._total = self._total.merge(stats)
+
+    def snapshot(self) -> CheckedRunStats:
+        """The current total (immutable — safe to hold across updates)."""
+        with self._lock:
+            return self._total
 
 
 @dataclass

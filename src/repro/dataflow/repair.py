@@ -38,7 +38,9 @@ from repro.core.base import CheckResult
 from repro.core.localize import FaultReport
 from repro.core.multiseed import MultiSeedSumChecker, condense_kv
 from repro.core.params import SumCheckConfig
+from repro.core.streams import ZipCheckerStream
 from repro.dataflow.ops.reduce_by_key import reduce_by_key
+from repro.dataflow.ops.zip_op import zip_arrays
 from repro.util.rng import derive_seed, derive_seed_array
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "RepairOutcome",
     "RepairPolicy",
     "repair_reduce_window",
+    "repair_sum_window",
+    "repair_zip_window",
 ]
 
 
@@ -159,7 +163,7 @@ def _gather_chunks(chunks) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _patched_output(
-    comm, old_output, keys, values, ranges, partitioner
+    comm, old_output, keys, values, ranges, partitioner, recompute
 ) -> tuple[np.ndarray, np.ndarray]:
     """Splice a recomputed implicated slice into the retained output.
 
@@ -171,7 +175,7 @@ def _patched_output(
     ``reduce_by_key``'s.
     """
     sel = _range_mask(keys, ranges)
-    new_k, new_v = reduce_by_key(comm, keys[sel], values[sel], partitioner)
+    new_k, new_v = recompute(comm, keys[sel], values[sel], partitioner)
     old_k, old_v = _coerce_kv(*old_output)
     keep = ~_range_mask(old_k, ranges)
     pk = np.concatenate([old_k[keep], new_k])
@@ -191,6 +195,7 @@ def repair_reduce_window(
     report: FaultReport | None = None,
     partitioner=None,
     operator: str = "+",
+    recompute=None,
 ) -> RepairOutcome:
     """Repair one rejected ReduceByKey window under bounded retry.
 
@@ -202,8 +207,16 @@ def repair_reduce_window(
     :meth:`RepairPolicy.attempt_seed_roots`; the first ACCEPT wins.  All
     PEs must call collectively — every verdict is agreed before the next
     attempt starts, so the loop stays in lockstep.
+
+    ``recompute(comm, keys, values, partitioner)`` replaces the default
+    :func:`reduce_by_key` aggregation — the hook the chaos harness uses
+    to model a *persistently* broken operation (re-execution recomputes
+    through the same faulty black box, so the re-settle keeps rejecting
+    and the window quarantines instead of healing).
     """
     t0 = time.perf_counter()
+    if recompute is None:
+        recompute = reduce_by_key
     ranges = (
         list(report.key_ranges)
         if report is not None and report.localized
@@ -223,10 +236,10 @@ def repair_reduce_window(
         )
         if use_partial:
             output = _patched_output(
-                comm, old_output, keys, values, ranges, partitioner
+                comm, old_output, keys, values, ranges, partitioner, recompute
             )
         else:
-            output = reduce_by_key(comm, keys, values, partitioner)
+            output = recompute(comm, keys, values, partitioner)
         roots = policy.attempt_seed_roots(window_seed, attempt)
         checker = MultiSeedSumChecker(config, roots, operator)
         diff = checker.difference(
@@ -263,5 +276,178 @@ def repair_reduce_window(
         report=report,
         verdicts=verdicts,
         output=output if healed else None,
+        repair_seconds=time.perf_counter() - t0,
+    )
+
+
+def _gather_value_chunks(chunks) -> np.ndarray:
+    """Concatenate a sum reexecute callback's value-chunk iterable."""
+    parts = [np.asarray(c, dtype=np.int64).ravel() for c in chunks]
+    parts = [p for p in parts if p.size]
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def repair_sum_window(
+    comm,
+    window: int,
+    window_seed: int,
+    config: SumCheckConfig,
+    reexecute,
+    policy: RepairPolicy,
+    recompute=None,
+) -> RepairOutcome:
+    """Repair one rejected windowed-sum window under bounded retry.
+
+    The sum checker condenses the whole window to a single key (every
+    element is a ``(0, value)`` pair), so there is nothing to localize
+    and no partial splice: every attempt is a full re-execution.
+    ``reexecute(window_id, key_ranges)`` must return this PE's complete
+    *value* chunks for the window (``key_ranges`` is always empty here);
+    ``recompute(comm, values)`` overrides the default allreduce total.
+    Each attempt re-settles input vs asserted total under
+    :meth:`RepairPolicy.attempt_seed_roots`; the first ACCEPT heals the
+    window with the re-executed total.
+    """
+    t0 = time.perf_counter()
+    rank = comm.rank if comm is not None else 0
+    verdicts: list[CheckResult] = []
+    attempts = 0
+    healed = False
+    total = None
+    for attempt in range(policy.max_attempts):
+        attempts = attempt + 1
+        values = _gather_value_chunks(reexecute(window, []))
+        if recompute is not None:
+            total = int(recompute(comm, values))
+        else:
+            local = int(np.sum(values, dtype=np.int64))
+            if comm is None:
+                total = local
+            else:
+                total = comm.allreduce(local, op=lambda a, b: a + b)
+        roots = policy.attempt_seed_roots(window_seed, attempt)
+        checker = MultiSeedSumChecker(config, roots)
+        if rank == 0:
+            asserted = condense_kv(
+                np.zeros(1, dtype=np.uint64), np.array([total], dtype=np.int64)
+            )
+        else:
+            asserted = condense_kv(
+                np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+            )
+        diff = checker.difference(
+            checker.local_tables_condensed(
+                condense_kv(np.zeros(values.shape, dtype=np.uint64), values)
+            ),
+            checker.local_tables_condensed(asserted),
+        )
+        per_seed = checker.per_seed_verdicts(diff, comm)
+        healed = all(per_seed)
+        verdicts.append(
+            CheckResult(
+                accepted=bool(healed),
+                checker="repair-resettle-sum",
+                details={
+                    "config": config.label(),
+                    "window": window,
+                    "attempt": attempt,
+                    "num_seeds": int(roots.size),
+                    "per_seed_accepted": [bool(x) for x in per_seed],
+                },
+            )
+        )
+        if healed:
+            break
+    return RepairOutcome(
+        window=window,
+        healed=bool(healed),
+        attempts=attempts,
+        report=None,
+        verdicts=verdicts,
+        output=total if healed else None,
+        repair_seconds=time.perf_counter() - t0,
+    )
+
+
+def _gather_zip_chunks(chunks) -> np.ndarray:
+    """Concatenate one side of a zip reexecute callback's chunk iterable."""
+    parts = [np.asarray(c).ravel() for c in chunks]
+    parts = [p for p in parts if p.size]
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def repair_zip_window(
+    comm,
+    window: int,
+    window_seed: int,
+    iterations: int,
+    reexecute,
+    policy: RepairPolicy,
+    recompute=None,
+) -> RepairOutcome:
+    """Repair one rejected Zip window under bounded retry.
+
+    The Theorem 11 positional fingerprint carries no per-key carrier to
+    bisect, so zip repair is always a full re-execution: ``reexecute(
+    window_id, key_ranges)`` must return ``(chunks1, chunks2)`` — this
+    PE's complete input chunks for both streams (``key_ranges`` is
+    always empty) — and each attempt re-runs the zip exchange and
+    re-settles the window's fingerprints under fresh
+    :meth:`RepairPolicy.attempt_seed_roots`.  ``recompute(comm, s1,
+    s2)`` overrides the default :func:`zip_arrays` call and must return
+    ``(first, second, (off1, off2))``.
+    """
+    t0 = time.perf_counter()
+    verdicts: list[CheckResult] = []
+    attempts = 0
+    healed = False
+    output = None
+    for attempt in range(policy.max_attempts):
+        attempts = attempt + 1
+        chunks1, chunks2 = reexecute(window, [])
+        s1 = _gather_zip_chunks(chunks1)
+        s2 = _gather_zip_chunks(chunks2)
+        if recompute is not None:
+            first, second, (off1, off2) = recompute(comm, s1, s2)
+        else:
+            first, second, (off1, off2) = zip_arrays(
+                comm, s1, s2, return_offsets=True
+            )
+        roots = policy.attempt_seed_roots(window_seed, attempt)
+        stream = ZipCheckerStream(
+            roots, iterations, offsets=(off1, off2, off1)
+        )
+        stream.feed_input(first=s1, second=s2)
+        stream.feed_output(first, second)
+        verdict = stream.settle(comm)
+        per_seed = verdict.details["per_seed_accepted"]
+        healed = all(per_seed)
+        verdicts.append(
+            CheckResult(
+                accepted=bool(healed),
+                checker="repair-resettle-zip",
+                details={
+                    "window": window,
+                    "attempt": attempt,
+                    "iterations": iterations,
+                    "num_seeds": int(roots.size),
+                    "per_seed_accepted": [bool(x) for x in per_seed],
+                },
+            )
+        )
+        if healed:
+            output = (first, second)
+            break
+    return RepairOutcome(
+        window=window,
+        healed=bool(healed),
+        attempts=attempts,
+        report=None,
+        verdicts=verdicts,
+        output=output,
         repair_seconds=time.perf_counter() - t0,
     )

@@ -49,6 +49,8 @@ from repro.dataflow.repair import (
     QuarantinedWindow,
     RepairPolicy,
     repair_reduce_window,
+    repair_sum_window,
+    repair_zip_window,
 )
 from repro.util.rng import derive_seed, derive_seed_array
 
@@ -192,6 +194,9 @@ class StreamingDIA(_ChunkSource):
         chunks_per_window: int = 8,
         policy: AdaptiveCheckPolicy | None = None,
         keep_outputs: bool = True,
+        reexecute=None,
+        repair: RepairPolicy | None = None,
+        fault=None,
     ) -> StreamingCheckedRun:
         """Windowed global sum with the §4 checker (key 0 for all elements).
 
@@ -199,56 +204,37 @@ class StreamingDIA(_ChunkSource):
         sees every element as a ``(0, value)`` pair (condensed state is a
         single key) and the asserted total as a single output pair on
         PE 0.  One settle per window.
+
+        A ``reexecute(window_id, key_ranges)`` callback heals rejected
+        windows like :meth:`StreamingKeyValueDIA.reduce_by_key_checked`
+        does, except that the single-key condensation leaves nothing to
+        localize: every :func:`~repro.dataflow.repair.repair_sum_window`
+        attempt is a full re-execution of the window's *value* chunks
+        (``key_ranges`` is always empty), re-settled under escalating
+        seeds, with a :class:`~repro.dataflow.repair.QuarantinedWindow`
+        on exhaustion.
         """
         config = config or _DEFAULT_CONFIG
-        rank = self.comm.rank if self.comm is not None else 0
         run = StreamingCheckedRun()
         w = 0
         while True:
             window = self._pull_window(chunks_per_window)
             if not self._window_live(window):
                 break
-            t0 = time.perf_counter()
-            stream = SumCheckerStream(
-                SumAggregationChecker(config, _window_seed(seed, w))
+            output, verdict, stats, record, quarantine = settle_sum_window(
+                self.comm,
+                window,
+                config=config,
+                seed_w=_window_seed(seed, w),
+                window=w,
+                policy=policy,
+                reexecute=reexecute,
+                repair=repair,
+                fault=fault,
             )
-            elements = 0
-            local_total = 0
-            checker_s = 0.0
-            for chunk in window:
-                chunk = np.asarray(chunk)
-                elements += int(chunk.size)
-                c0 = time.perf_counter()
-                stream.feed_input(
-                    np.zeros(chunk.shape, dtype=np.uint64), chunk
-                )
-                checker_s += time.perf_counter() - c0
-                local_total += int(np.sum(chunk, dtype=np.int64))
-            if self.comm is None:
-                total = local_total
-            else:
-                total = self.comm.allreduce(
-                    local_total, op=lambda a, b: a + b
-                )
-            t_op_done = time.perf_counter()
-            if rank == 0:
-                stream.feed_output(
-                    np.zeros(1, dtype=np.uint64),
-                    np.array([total], dtype=np.int64),
-                )
-            if policy is not None:
-                verdict = stream.settle_adaptive(policy, self.comm)
-            else:
-                verdict = stream.settle(self.comm)
-            t1 = time.perf_counter()
-            stats = _window_stats(
-                verdict,
-                operation_seconds=(t_op_done - t0) - checker_s,
-                checker_seconds=checker_s + (t1 - t_op_done),
-                elements=elements,
-            )
-            record = _window_record(w, verdict, _window_seed(seed, w), policy)
-            run._add_window(total, verdict, stats, keep_outputs, record)
+            if quarantine is not None:
+                run.quarantined.append(quarantine)
+            run._add_window(output, verdict, stats, keep_outputs, record)
             w += 1
         return run
 
@@ -260,6 +246,9 @@ class StreamingDIA(_ChunkSource):
         chunks_per_window: int = 8,
         policy: AdaptiveCheckPolicy | None = None,
         keep_outputs: bool = True,
+        reexecute=None,
+        repair: RepairPolicy | None = None,
+        fault=None,
     ) -> StreamingCheckedRun:
         """Windowed Zip with the Theorem 11 checker, one settle per window.
 
@@ -268,6 +257,13 @@ class StreamingDIA(_ChunkSource):
         checker stream reuses them — the positional fingerprint admits no
         condensation, so the window's arrays are retained exactly until
         its settle (and, with a ``policy``, its escalation) completes.
+
+        A ``reexecute(window_id, key_ranges)`` callback must return
+        ``(chunks1, chunks2)`` — this PE's complete chunks for both
+        streams of the window — and heals rejected windows through
+        :func:`~repro.dataflow.repair.repair_zip_window`: the fingerprint
+        carries no key ranges to bisect, so every attempt re-runs the zip
+        exchange outright and re-settles under escalating seeds.
         """
         run = StreamingCheckedRun()
         w = 0
@@ -277,69 +273,21 @@ class StreamingDIA(_ChunkSource):
             live = self._window_live(window1 + window2)
             if not live:
                 break
-            t0 = time.perf_counter()
-            w1 = _concat(window1)
-            w2 = _concat(window2)
-            first, second, (off1, off2) = zip_arrays(
-                self.comm, w1, w2, return_offsets=True
+            output, verdict, stats, record, quarantine = settle_zip_window(
+                self.comm,
+                window1,
+                window2,
+                seed_w=_window_seed(seed, w),
+                window=w,
+                iterations=iterations,
+                policy=policy,
+                reexecute=reexecute,
+                repair=repair,
+                fault=fault,
             )
-            t1 = time.perf_counter()
-            seed_w = _window_seed(seed, w)
-            stream = ZipCheckerStream(
-                seed_w, iterations, offsets=(off1, off2, off1)
-            )
-            for chunk in window1:
-                stream.feed_input(first=chunk)
-            for chunk in window2:
-                stream.feed_input(second=chunk)
-            stream.feed_output(first, second)
-            verdict = stream.settle(self.comm)
-            t2 = time.perf_counter()
-            escalation_seconds = 0.0
-            esc_seeds = 0
-            escalated = False
-            per_seed = None
-            if policy is not None:
-                escalated = policy.should_escalate(verdict.accepted)
-                if escalated:
-                    e0 = time.perf_counter()
-                    roots = policy.resolve_seeds(seed_w)
-                    esc = ZipCheckerStream(
-                        roots, iterations, offsets=(off1, off2, off1)
-                    )
-                    esc.feed_input(first=w1, second=w2)
-                    esc.feed_output(first, second)
-                    esc_res = esc.settle(self.comm)
-                    per_seed = esc_res.details["per_seed_accepted"]
-                    esc_seeds = int(roots.size)
-                    escalation_seconds = time.perf_counter() - e0
-                verdict = CheckResult(
-                    accepted=verdict.accepted
-                    and (per_seed is None or all(per_seed)),
-                    checker="zip-adaptive",
-                    details={
-                        **verdict.details,
-                        "primary_accepted": verdict.accepted,
-                        "adaptive": {
-                            "escalated": escalated,
-                            "escalate_on": policy.escalate_on,
-                            "num_escalation_seeds": esc_seeds,
-                            "per_seed_accepted": per_seed,
-                            "escalation_seconds": escalation_seconds,
-                        },
-                    },
-                )
-            stats = CheckedRunStats(
-                operation_seconds=t1 - t0,
-                checker_seconds=t2 - t1,
-                escalated=escalated,
-                escalation_seconds=escalation_seconds,
-                escalation_seeds=esc_seeds,
-                windows=1,
-                elements_fed=int(w1.size + w2.size),
-            )
-            record = _window_record(w, verdict, seed_w, policy)
-            run._add_window((first, second), verdict, stats, keep_outputs, record)
+            if quarantine is not None:
+                run.quarantined.append(quarantine)
+            run._add_window(output, verdict, stats, keep_outputs, record)
             w += 1
         return run
 
@@ -378,6 +326,7 @@ class StreamingKeyValueDIA(_ChunkSource):
         keep_outputs: bool = True,
         reexecute=None,
         repair: RepairPolicy | None = None,
+        fault=None,
     ) -> StreamingCheckedRun:
         """Windowed ReduceByKey + Theorem 1 checker, one settle per window.
 
@@ -399,120 +348,28 @@ class StreamingKeyValueDIA(_ChunkSource):
         PE or none, like any other collective argument.
         """
         config = config or _DEFAULT_CONFIG
-        if reexecute is not None and repair is None:
-            repair = RepairPolicy()
         run = StreamingCheckedRun()
         w = 0
         while True:
             window = self._pull_window(chunks_per_window)
             if not self._window_live(window):
                 break
-            stream = SumCheckerStream(
-                SumAggregationChecker(config, _window_seed(seed, w))
-            )
-            elements = 0
-            parts_k: list[np.ndarray] = []
-            parts_v: list[np.ndarray] = []
-            checker_s = 0.0
-            op_s = 0.0
-            for keys, values in window:
-                c0 = time.perf_counter()
-                stream.feed_input(keys, values)
-                c1 = time.perf_counter()
-                lk, lv = local_aggregate(keys, values)
-                c2 = time.perf_counter()
-                checker_s += c1 - c0
-                op_s += c2 - c1
-                parts_k.append(lk)
-                parts_v.append(lv)
-                elements += int(np.asarray(keys).size)
-            t0 = time.perf_counter()
-            merged_k, merged_v = local_aggregate(
-                _concat(parts_k, dtype=np.uint64),
-                _concat(parts_v, dtype=np.int64),
-            )
-            out_k, out_v = reduce_by_key(
-                self.comm, merged_k, merged_v, partitioner
-            )
-            t1 = time.perf_counter()
-            op_s += t1 - t0
-            stream.feed_output(out_k, out_v)
-            if policy is not None:
-                verdict = stream.settle_adaptive(policy, self.comm)
-            else:
-                verdict = stream.settle(self.comm)
-            t2 = time.perf_counter()
-            checker_s += t2 - t1
-            stats = _window_stats(
-                verdict,
-                operation_seconds=op_s,
-                checker_seconds=checker_s,
-                elements=elements,
-            )
-            seed_w = _window_seed(seed, w)
-            record = _window_record(w, verdict, seed_w, policy)
-            output = (out_k, out_v)
-            ok = bool(verdict.accepted)
-            if not ok and reexecute is not None:
-                report = None
-                if repair.localize:
-                    loc_seeds = derive_seed_array(
-                        seed_w,
-                        "localize",
-                        np.arange(repair.localization_seeds, dtype=np.uint64),
-                    )
-                    report = localize_fault(
-                        stream.condensed_input(),
-                        stream.condensed_output(),
-                        config,
-                        loc_seeds,
-                        self.comm,
-                        window=w,
-                        max_rounds=repair.max_rounds,
-                        max_ranges=repair.max_ranges,
-                    )
-                    record.seeds_used += [int(s) for s in loc_seeds]
-                outcome = repair_reduce_window(
+            output, verdict, stats, record, quarantine = (
+                settle_reduce_window(
                     self.comm,
-                    window=w,
-                    window_seed=seed_w,
+                    window,
                     config=config,
-                    reexecute=reexecute,
-                    old_output=output,
-                    policy=repair,
-                    report=report,
+                    seed_w=_window_seed(seed, w),
+                    window=w,
                     partitioner=partitioner,
+                    policy=policy,
+                    reexecute=reexecute,
+                    repair=repair,
+                    fault=fault,
                 )
-                record.report = report
-                record.repair_attempts = outcome.attempts
-                for attempt in range(outcome.attempts):
-                    record.seeds_used += [
-                        int(s)
-                        for s in repair.attempt_seed_roots(seed_w, attempt)
-                    ]
-                if outcome.healed:
-                    output = outcome.output
-                    verdict = outcome.verdicts[-1]
-                    record.verdict = verdict
-                    record.accepted = True
-                    record.repaired = True
-                else:
-                    record.quarantined = True
-                    run.quarantined.append(outcome.quarantine())
-                stats = replace(
-                    stats,
-                    localized=bool(report is not None and report.localized),
-                    bisection_rounds=(
-                        report.bisection_rounds if report is not None else 0
-                    ),
-                    localization_seconds=(
-                        report.localization_seconds
-                        if report is not None
-                        else 0.0
-                    ),
-                    repaired_windows=1 if outcome.healed else 0,
-                    quarantined_windows=0 if outcome.healed else 1,
-                )
+            )
+            if quarantine is not None:
+                run.quarantined.append(quarantine)
             run._add_window(output, verdict, stats, keep_outputs, record)
             w += 1
         return run
@@ -527,6 +384,7 @@ class StreamingKeyValueDIA(_ChunkSource):
         keep_outputs: bool = True,
         reexecute=None,
         repair: RepairPolicy | None = None,
+        fault=None,
     ) -> StreamingCheckedRun:
         """Windowed per-key counting (§4: sum aggregation of ones).
 
@@ -550,7 +408,350 @@ class StreamingKeyValueDIA(_ChunkSource):
             keep_outputs=keep_outputs,
             reexecute=reexecute,
             repair=repair,
+            fault=fault,
         )
+
+
+# -- per-window settlement engine -------------------------------------------
+#
+# One function per checked operation, covering a single window end to end:
+# feed the checker, run the operation, settle the verdict, and (given a
+# ``reexecute`` callback) localize/repair or quarantine.  The pull-based
+# DIAs above and the push-based ``repro.service`` daemon both drive their
+# windows through these, so service tenants settle bit-identically to a
+# batch streaming run.
+#
+# ``fault`` is the chaos-injection seam: a callable applied to the
+# operation's working data (never to what the checker was fed), emulating
+# the paper's fault-inside-the-black-box model.  It also wraps the repair
+# path's recompute, so a hook that keeps corrupting models a persistently
+# broken operation (repair keeps rejecting → quarantine) while a hook that
+# corrupts only the first execution models a transient fault (repair
+# heals).
+
+
+def _fold_repair(outcome, report, record, stats, repair, seed_w, output, verdict):
+    """Fold a RepairOutcome into the window's record/stats/output."""
+    record.report = report
+    record.repair_attempts = outcome.attempts
+    for attempt in range(outcome.attempts):
+        record.seeds_used += [
+            int(s) for s in repair.attempt_seed_roots(seed_w, attempt)
+        ]
+    quarantine = None
+    if outcome.healed:
+        output = outcome.output
+        verdict = outcome.verdicts[-1]
+        record.verdict = verdict
+        record.accepted = True
+        record.repaired = True
+    else:
+        record.quarantined = True
+        quarantine = outcome.quarantine()
+    stats = replace(
+        stats,
+        localized=bool(report is not None and report.localized),
+        bisection_rounds=(
+            report.bisection_rounds if report is not None else 0
+        ),
+        localization_seconds=(
+            report.localization_seconds if report is not None else 0.0
+        ),
+        repaired_windows=1 if outcome.healed else 0,
+        quarantined_windows=0 if outcome.healed else 1,
+    )
+    return output, verdict, stats, quarantine
+
+
+def settle_reduce_window(
+    comm,
+    chunks,
+    *,
+    config: SumCheckConfig,
+    seed_w: int,
+    window: int,
+    partitioner=None,
+    policy: AdaptiveCheckPolicy | None = None,
+    reexecute=None,
+    repair: RepairPolicy | None = None,
+    fault=None,
+):
+    """Settle one ReduceByKey window over its local ``(keys, values)`` chunks.
+
+    Returns ``(output, verdict, stats, record, quarantine)`` where
+    ``quarantine`` is a :class:`QuarantinedWindow` when a repair loop
+    exhausted its budget (else None).  Collective: every PE must call
+    with the same window index and seed.
+    """
+    if reexecute is not None and repair is None:
+        repair = RepairPolicy()
+    stream = SumCheckerStream(SumAggregationChecker(config, seed_w))
+    elements = 0
+    parts_k: list[np.ndarray] = []
+    parts_v: list[np.ndarray] = []
+    checker_s = 0.0
+    op_s = 0.0
+    for keys, values in chunks:
+        c0 = time.perf_counter()
+        stream.feed_input(keys, values)
+        c1 = time.perf_counter()
+        lk, lv = local_aggregate(keys, values)
+        c2 = time.perf_counter()
+        checker_s += c1 - c0
+        op_s += c2 - c1
+        parts_k.append(lk)
+        parts_v.append(lv)
+        elements += int(np.asarray(keys).size)
+
+    def _operation(comm_, keys, values, part):
+        if fault is not None:
+            keys, values = fault(window, keys, values)
+        return reduce_by_key(comm_, keys, values, part)
+
+    t0 = time.perf_counter()
+    merged_k, merged_v = local_aggregate(
+        _concat(parts_k, dtype=np.uint64),
+        _concat(parts_v, dtype=np.int64),
+    )
+    out_k, out_v = _operation(comm, merged_k, merged_v, partitioner)
+    t1 = time.perf_counter()
+    op_s += t1 - t0
+    stream.feed_output(out_k, out_v)
+    if policy is not None:
+        verdict = stream.settle_adaptive(policy, comm)
+    else:
+        verdict = stream.settle(comm)
+    t2 = time.perf_counter()
+    checker_s += t2 - t1
+    stats = _window_stats(
+        verdict,
+        operation_seconds=op_s,
+        checker_seconds=checker_s,
+        elements=elements,
+    )
+    record = _window_record(window, verdict, seed_w, policy)
+    output = (out_k, out_v)
+    quarantine = None
+    ok = bool(verdict.accepted)
+    if not ok and reexecute is not None:
+        report = None
+        if repair.localize:
+            loc_seeds = derive_seed_array(
+                seed_w,
+                "localize",
+                np.arange(repair.localization_seeds, dtype=np.uint64),
+            )
+            report = localize_fault(
+                stream.condensed_input(),
+                stream.condensed_output(),
+                config,
+                loc_seeds,
+                comm,
+                window=window,
+                max_rounds=repair.max_rounds,
+                max_ranges=repair.max_ranges,
+            )
+            record.seeds_used += [int(s) for s in loc_seeds]
+        outcome = repair_reduce_window(
+            comm,
+            window=window,
+            window_seed=seed_w,
+            config=config,
+            reexecute=reexecute,
+            old_output=output,
+            policy=repair,
+            report=report,
+            partitioner=partitioner,
+            recompute=_operation if fault is not None else None,
+        )
+        output, verdict, stats, quarantine = _fold_repair(
+            outcome, report, record, stats, repair, seed_w, output, verdict
+        )
+    return output, verdict, stats, record, quarantine
+
+
+def settle_sum_window(
+    comm,
+    chunks,
+    *,
+    config: SumCheckConfig,
+    seed_w: int,
+    window: int,
+    policy: AdaptiveCheckPolicy | None = None,
+    reexecute=None,
+    repair: RepairPolicy | None = None,
+    fault=None,
+):
+    """Settle one windowed-sum window over its local value chunks.
+
+    The checker sees every element as a ``(0, value)`` pair and the
+    asserted global total as one output pair on PE 0.  Same return shape
+    as :func:`settle_reduce_window`.
+    """
+    if reexecute is not None and repair is None:
+        repair = RepairPolicy()
+    rank = comm.rank if comm is not None else 0
+    t0 = time.perf_counter()
+    stream = SumCheckerStream(SumAggregationChecker(config, seed_w))
+    elements = 0
+    vals: list[np.ndarray] = []
+    checker_s = 0.0
+    for chunk in chunks:
+        chunk = np.asarray(chunk)
+        elements += int(chunk.size)
+        c0 = time.perf_counter()
+        stream.feed_input(np.zeros(chunk.shape, dtype=np.uint64), chunk)
+        checker_s += time.perf_counter() - c0
+        vals.append(chunk)
+
+    def _operation(comm_, values):
+        if fault is not None:
+            values = fault(window, values)
+        local = int(np.sum(values, dtype=np.int64))
+        if comm_ is None:
+            return local
+        return comm_.allreduce(local, op=lambda a, b: a + b)
+
+    total = _operation(comm, _concat(vals, dtype=np.int64))
+    t_op_done = time.perf_counter()
+    if rank == 0:
+        stream.feed_output(
+            np.zeros(1, dtype=np.uint64),
+            np.array([total], dtype=np.int64),
+        )
+    if policy is not None:
+        verdict = stream.settle_adaptive(policy, comm)
+    else:
+        verdict = stream.settle(comm)
+    t1 = time.perf_counter()
+    stats = _window_stats(
+        verdict,
+        operation_seconds=(t_op_done - t0) - checker_s,
+        checker_seconds=checker_s + (t1 - t_op_done),
+        elements=elements,
+    )
+    record = _window_record(window, verdict, seed_w, policy)
+    output = total
+    quarantine = None
+    ok = bool(verdict.accepted)
+    if not ok and reexecute is not None:
+        outcome = repair_sum_window(
+            comm,
+            window,
+            seed_w,
+            config,
+            reexecute,
+            repair,
+            recompute=_operation if fault is not None else None,
+        )
+        output, verdict, stats, quarantine = _fold_repair(
+            outcome, None, record, stats, repair, seed_w, output, verdict
+        )
+    return output, verdict, stats, record, quarantine
+
+
+def settle_zip_window(
+    comm,
+    window1,
+    window2,
+    *,
+    seed_w: int,
+    window: int,
+    iterations: int = 2,
+    policy: AdaptiveCheckPolicy | None = None,
+    reexecute=None,
+    repair: RepairPolicy | None = None,
+    fault=None,
+):
+    """Settle one Zip window over both streams' local chunk lists.
+
+    Same return shape as :func:`settle_reduce_window`; ``fault`` (when
+    given) corrupts the zipped output columns — the operation's product —
+    while the checker keeps fingerprinting the original inputs.
+    """
+    if reexecute is not None and repair is None:
+        repair = RepairPolicy()
+    t0 = time.perf_counter()
+    w1 = _concat(window1)
+    w2 = _concat(window2)
+
+    def _operation(comm_, s1, s2):
+        first, second, offs = zip_arrays(comm_, s1, s2, return_offsets=True)
+        if fault is not None:
+            first, second = fault(window, first, second)
+        return first, second, offs
+
+    first, second, (off1, off2) = _operation(comm, w1, w2)
+    t1 = time.perf_counter()
+    stream = ZipCheckerStream(seed_w, iterations, offsets=(off1, off2, off1))
+    for chunk in window1:
+        stream.feed_input(first=chunk)
+    for chunk in window2:
+        stream.feed_input(second=chunk)
+    stream.feed_output(first, second)
+    verdict = stream.settle(comm)
+    t2 = time.perf_counter()
+    escalation_seconds = 0.0
+    esc_seeds = 0
+    escalated = False
+    per_seed = None
+    ok = verdict.accepted
+    if policy is not None:
+        escalated = policy.should_escalate(verdict.accepted)
+        if escalated:
+            e0 = time.perf_counter()
+            roots = policy.resolve_seeds(seed_w)
+            esc = ZipCheckerStream(
+                roots, iterations, offsets=(off1, off2, off1)
+            )
+            esc.feed_input(first=w1, second=w2)
+            esc.feed_output(first, second)
+            esc_res = esc.settle(comm)
+            per_seed = esc_res.details["per_seed_accepted"]
+            esc_seeds = int(roots.size)
+            escalation_seconds = time.perf_counter() - e0
+        ok = verdict.accepted and (per_seed is None or all(per_seed))
+        verdict = CheckResult(
+            accepted=ok,
+            checker="zip-adaptive",
+            details={
+                **verdict.details,
+                "primary_accepted": verdict.accepted,
+                "adaptive": {
+                    "escalated": escalated,
+                    "escalate_on": policy.escalate_on,
+                    "num_escalation_seeds": esc_seeds,
+                    "per_seed_accepted": per_seed,
+                    "escalation_seconds": escalation_seconds,
+                },
+            },
+        )
+    stats = CheckedRunStats(
+        operation_seconds=t1 - t0,
+        checker_seconds=t2 - t1,
+        escalated=escalated,
+        escalation_seconds=escalation_seconds,
+        escalation_seeds=esc_seeds,
+        windows=1,
+        elements_fed=int(w1.size + w2.size),
+    )
+    record = _window_record(window, verdict, seed_w, policy)
+    output = (first, second)
+    quarantine = None
+    if not ok and reexecute is not None:
+        outcome = repair_zip_window(
+            comm,
+            window,
+            seed_w,
+            iterations,
+            reexecute,
+            repair,
+            recompute=_operation if fault is not None else None,
+        )
+        output, verdict, stats, quarantine = _fold_repair(
+            outcome, None, record, stats, repair, seed_w, output, verdict
+        )
+    return output, verdict, stats, record, quarantine
 
 
 def _concat(parts: list, dtype=None) -> np.ndarray:
@@ -616,4 +817,13 @@ __all__ = [
     "StreamingDIA",
     "StreamingKeyValueDIA",
     "WindowRecord",
+    "settle_reduce_window",
+    "settle_sum_window",
+    "settle_zip_window",
+    "window_seed",
 ]
+
+
+#: Public alias: the per-window checker seed derivation shared by the
+#: streaming DIAs and the ``repro.service`` daemon.
+window_seed = _window_seed

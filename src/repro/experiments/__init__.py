@@ -15,6 +15,7 @@ localization fault localization & repair accuracy (repo       localization
 
 from repro.experiments.accuracy import (
     AccuracyCell,
+    detection_allowance,
     perm_checker_accuracy,
     perm_checker_accuracy_full,
     sum_checker_accuracy,
@@ -45,6 +46,7 @@ from repro.experiments.report import format_series, format_table
 
 __all__ = [
     "AccuracyCell",
+    "detection_allowance",
     "perm_checker_accuracy",
     "perm_checker_accuracy_full",
     "sum_checker_accuracy",

@@ -290,3 +290,38 @@ def perm_checker_accuracy_full(
         failures=failures,
         expected_delta=config.failure_bound,
     )
+
+
+def detection_allowance(injected: int, delta: float, tail: float = 1e-6) -> int:
+    """Largest undetected-corruption count still consistent with ``delta``.
+
+    Under the paper's analytic model an injected corruption escapes a
+    checker with probability at most ``delta`` per settlement, so the
+    number of misses among ``injected`` independent injections is
+    stochastically dominated by ``Binomial(injected, delta)``.  The
+    allowance is the largest ``k`` with ``P[X >= k] >= tail`` — any
+    observed miss count *above* it is evidence of a real checker defect
+    rather than analytic bad luck.  At the repo's failure bounds this is
+    0 or 1 for any realistic injection count — the soak harness gates
+    its undetected-corruption count against it.
+    """
+    if injected < 0:
+        raise ValueError(f"injected must be >= 0, got {injected}")
+    if not 0.0 <= delta < 1.0:
+        raise ValueError(f"delta must be in [0, 1), got {delta}")
+    if injected == 0 or delta == 0.0:
+        return 0
+    # pmf recurrence keeps this dependency-free and exact enough for the
+    # tiny (n, delta) regime the gates live in.
+    pmf = [(1.0 - delta) ** injected]
+    ratio = delta / (1.0 - delta)
+    for i in range(injected):
+        pmf.append(pmf[-1] * (injected - i) / (i + 1) * ratio)
+    allowance = 0
+    survival = 1.0
+    for k in range(1, injected + 1):
+        survival -= pmf[k - 1]
+        if survival < tail:
+            break
+        allowance = k
+    return allowance

@@ -27,6 +27,8 @@ from repro.faults.manipulators import (
     SwitchValues,
     get_kv_manipulator,
     get_seq_manipulator,
+    kv_manipulator_names,
+    seq_manipulator_names,
 )
 
 __all__ = [
@@ -48,4 +50,6 @@ __all__ = [
     "SwitchValues",
     "get_kv_manipulator",
     "get_seq_manipulator",
+    "kv_manipulator_names",
+    "seq_manipulator_names",
 ]

@@ -708,3 +708,13 @@ def get_seq_manipulator(name: str, **kwargs) -> SeqManipulator:
             f"available: {sorted(PERM_MANIPULATORS)}"
         ) from None
     return factory(**kwargs)
+
+
+def kv_manipulator_names() -> tuple[str, ...]:
+    """Sorted Table 4 manipulator names (the chaos harness's KV roster)."""
+    return tuple(sorted(SUM_MANIPULATORS))
+
+
+def seq_manipulator_names() -> tuple[str, ...]:
+    """Sorted Table 6 manipulator names (the chaos harness's seq roster)."""
+    return tuple(sorted(PERM_MANIPULATORS))

@@ -1,0 +1,576 @@
+"""Chaos soak harness for the checked streaming service.
+
+Drives a :class:`~repro.service.daemon.CheckedStreamService` with many
+concurrent tenants while injecting the paper's fault manipulators
+(Table 4 for sum-aggregation ops, Table 6 for the zip fingerprint) into
+live windows at random, then audits every settled window against
+independently computed clean ground truth:
+
+* a **transient** fault corrupts only the window's *first* execution —
+  PR 8's heal-in-place repair must re-execute, re-settle, and restore a
+  bit-identical output;
+* a **persistent** fault corrupts *every* execution (the repair loop's
+  ``recompute`` runs through the same faulty operation) — the window
+  must exhaust its repair budget and land in quarantine;
+* an **undetected corruption** is a window whose final verdict accepted
+  but whose output differs from the clean expectation — per the paper's
+  Fig. 3 / Fig. 5 analysis these must stay within the analytic failure
+  bound (:func:`~repro.experiments.accuracy.detection_allowance`);
+* a fault whose output still equals the clean expectation (e.g. an
+  IncDec pair landing on one key) is a **benign no-op**, counted
+  separately — it is not a checker miss.
+
+Everything — chunk data, fault placement, manipulator draws — derives
+from one root seed via :func:`~repro.util.rng.derive_seed`, so a soak
+run is exactly replayable.
+
+Per-op accounting follows the chaos-test idiom of service soak
+frameworks: an :class:`OpChecker` per tenant accumulates success/failure
+counts and response times, reported as success rate and latency figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.params import SumCheckConfig
+from repro.core.zip_checker import MERSENNE31
+from repro.dataflow.ops.reduce_by_key import reduce_by_key
+from repro.dataflow.repair import RepairPolicy
+from repro.experiments.accuracy import detection_allowance
+from repro.faults.manipulators import get_kv_manipulator, get_seq_manipulator
+from repro.service.daemon import CheckedStreamService
+from repro.service.tenant import TenantConfig
+from repro.util.rng import default_generator, derive_seed
+
+__all__ = [
+    "KV_FAULTS",
+    "Op",
+    "OpChecker",
+    "SEQ_FAULTS",
+    "SoakConfig",
+    "SoakReport",
+    "TenantChaos",
+    "TenantSoakReport",
+    "ZIP_FAULTS",
+    "run_soak",
+]
+
+
+class Op(str, Enum):
+    """Checked operations the soak harness can exercise."""
+
+    REDUCE_BY_KEY = "reduce_by_key"
+    COUNT_BY_KEY = "count_by_key"
+    SUM = "sum"
+    ZIP = "zip"
+
+
+#: Table 4 manipulators thrown at the sum-aggregation ops.
+KV_FAULTS = ("Bitflip", "RandKey", "SwitchValues", "IncKey", "IncDec1", "IncDec2")
+#: Table 6 manipulators thrown at the windowed sum (total-changing subset:
+#: the scalar total cannot see sum-preserving permutation faults).
+SEQ_FAULTS = ("Bitflip", "Increment", "Randomize")
+#: Table 6 manipulators thrown at the zip fingerprint.
+ZIP_FAULTS = ("Bitflip", "Increment", "Randomize", "Reset", "SetEqual")
+
+_VALUE_BITS = 20  # clean values live in [0, 2^20)
+
+
+class OpChecker:
+    """Success/latency accounting for one tenant's op under chaos."""
+
+    def __init__(self, op: Op):
+        self.op = op
+        self._succ = 0
+        self._fail = 0
+        self.rsp_times: list[float] = []
+
+    def check_result(self, success: bool, rsp_time: float) -> None:
+        if success:
+            self._succ += 1
+        else:
+            self._fail += 1
+        self.rsp_times.append(float(rsp_time))
+
+    def total(self) -> int:
+        return self._succ + self._fail
+
+    def succ_rate(self) -> float:
+        total = self.total()
+        return 1.0 if total == 0 else self._succ / total
+
+    def avg_rsp(self) -> float:
+        return float(np.mean(self.rsp_times)) if self.rsp_times else 0.0
+
+    def max_rsp(self) -> float:
+        return max(self.rsp_times) if self.rsp_times else 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One planned injection: which window, which manipulator, how sticky."""
+
+    window: int
+    manipulator: str
+    persistent: bool
+
+
+@dataclass
+class SoakConfig:
+    """Shape and chaos intensity of one soak run.
+
+    ``extra_chaos_tenants`` appends always-faulting (rate 1.0, fully
+    persistent) tenants *after* the first ``tenants`` — their seeds do
+    not disturb the base tenants', so a run with extras is chunk-for-
+    chunk identical on the base tenants to a run without (that is how
+    the isolation benchmark compares latencies).
+    """
+
+    tenants: int = 8
+    windows_per_tenant: int = 4
+    chunks_per_window: int = 4
+    chunk_size: int = 256
+    key_domain: int = 64
+    fault_rate: float = 0.3
+    persistent_share: float = 0.25
+    seed: int = 0
+    check_iterations: int = 4
+    ops: tuple[Op, ...] = (Op.REDUCE_BY_KEY, Op.SUM, Op.ZIP, Op.COUNT_BY_KEY)
+    queue_capacity: int = 8
+    extra_chaos_tenants: int = 0
+
+    def check_config(self) -> SumCheckConfig:
+        return SumCheckConfig(
+            iterations=self.check_iterations, d=16, rhat=1 << 15
+        )
+
+
+class TenantChaos:
+    """One tenant's deterministic chaos script plus its ground truth.
+
+    Owns the clean chunk data (the producer side), the fault plan, the
+    ``fault``/``reexecute`` hooks wired into the tenant's window engine,
+    and the post-run audit.  The fault hook runs only in the tenant's
+    worker thread; the execution counter that distinguishes a window's
+    first execution from its repair re-executions needs no lock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        op: Op,
+        seed: int,
+        soak: SoakConfig,
+        fault_rate: float,
+        persistent_share: float,
+    ):
+        self.name = name
+        self.op = op
+        self.seed = seed
+        self.soak = soak
+        self.checker = OpChecker(op)
+        self._exec_count: dict[int, int] = {}
+        self._chunks = [
+            [self._make_chunk(w, c) for c in range(soak.chunks_per_window)]
+            for w in range(soak.windows_per_tenant)
+        ]
+        self.plans: dict[int, FaultPlan] = {}
+        roster = self._roster()
+        for w in range(soak.windows_per_tenant):
+            rng = default_generator(derive_seed(seed, "fault-plan", w))
+            if float(rng.random()) >= fault_rate:
+                continue
+            manip = roster[int(rng.integers(len(roster)))]
+            persistent = float(rng.random()) < persistent_share
+            self.plans[w] = FaultPlan(w, manip, persistent)
+        self._manips = {name: self._instantiate(name) for name in roster}
+
+    # -- construction ------------------------------------------------------
+    def _roster(self) -> tuple[str, ...]:
+        if self.op in (Op.REDUCE_BY_KEY, Op.COUNT_BY_KEY):
+            return KV_FAULTS
+        if self.op is Op.SUM:
+            return SEQ_FAULTS
+        return ZIP_FAULTS
+
+    def _instantiate(self, name: str):
+        if self.op in (Op.REDUCE_BY_KEY, Op.COUNT_BY_KEY):
+            if name == "RandKey":
+                return get_kv_manipulator(name, key_domain=self.soak.key_domain)
+            return get_kv_manipulator(name)
+        if name == "Randomize":
+            return get_seq_manipulator(name, universe=1 << _VALUE_BITS)
+        return get_seq_manipulator(name)
+
+    def _make_chunk(self, w: int, c: int):
+        rng = default_generator(derive_seed(self.seed, "data", w, c))
+        n = self.soak.chunk_size
+        if self.op is Op.REDUCE_BY_KEY:
+            return (
+                rng.integers(0, self.soak.key_domain, n).astype(np.uint64),
+                rng.integers(0, 1 << _VALUE_BITS, n).astype(np.int64),
+            )
+        if self.op is Op.COUNT_BY_KEY:
+            return rng.integers(0, self.soak.key_domain, n).astype(np.uint64)
+        if self.op is Op.SUM:
+            return rng.integers(0, 1 << _VALUE_BITS, n).astype(np.int64)
+        return (
+            rng.integers(0, 1 << _VALUE_BITS, n).astype(np.int64),
+            rng.integers(0, 1 << _VALUE_BITS, n).astype(np.int64),
+        )
+
+    def window_chunks(self, w: int) -> list:
+        """The chunks the producer submits for window ``w``."""
+        return list(self._chunks[w])
+
+    # -- service wiring ----------------------------------------------------
+    def tenant_config(self) -> TenantConfig:
+        return TenantConfig(
+            op=self.op.value,
+            config=self.soak.check_config(),
+            seed=self.seed,
+            chunks_per_window=self.soak.chunks_per_window,
+            queue_capacity=self.soak.queue_capacity,
+            reexecute=self._reexecute,
+            repair=RepairPolicy(),
+            fault=self._fault_hook(),
+        )
+
+    def _corruption(self, window: int):
+        """The manipulation to apply now, or None (advances the counter)."""
+        plan = self.plans.get(window)
+        if plan is None:
+            return None
+        count = self._exec_count.get(window, 0)
+        self._exec_count[window] = count + 1
+        if not plan.persistent and count >= 1:
+            return None
+        return plan, derive_seed(self.seed, "manip", window, count)
+
+    def _fault_hook(self):
+        if self.op in (Op.REDUCE_BY_KEY, Op.COUNT_BY_KEY):
+
+            def fault(window, keys, values):
+                hit = self._corruption(window)
+                if hit is None or keys.size == 0:
+                    return keys, values
+                plan, rng_seed = hit
+                m = self._manips[plan.manipulator].apply(rng_seed, keys, values)
+                return m.keys, m.values
+
+            return fault
+        if self.op is Op.SUM:
+
+            def fault(window, values):
+                hit = self._corruption(window)
+                if hit is None or values.size == 0:
+                    return values
+                plan, rng_seed = hit
+                m = self._manips[plan.manipulator].apply(
+                    rng_seed, values.astype(np.uint64)
+                )
+                return m.sequence.astype(np.int64)
+
+            return fault
+
+        def fault(window, first, second):
+            hit = self._corruption(window)
+            if hit is None or first.size == 0:
+                return first, second
+            plan, rng_seed = hit
+            m = self._manips[plan.manipulator].apply(
+                rng_seed, first.astype(np.uint64)
+            )
+            return m.sequence.astype(np.int64), second
+
+        return fault
+
+    def _reexecute(self, window: int, key_ranges):
+        """Clean chunks for the repair loop (shape depends on the op)."""
+        chunks = self._chunks[window]
+        if self.op is Op.REDUCE_BY_KEY:
+            return list(chunks)
+        if self.op is Op.COUNT_BY_KEY:
+            return [
+                (k, np.ones(k.shape, dtype=np.int64)) for k in chunks
+            ]
+        if self.op is Op.SUM:
+            return list(chunks)
+        return [c[0] for c in chunks], [c[1] for c in chunks]
+
+    # -- ground truth ------------------------------------------------------
+    def expected(self, w: int):
+        chunks = self._chunks[w]
+        if self.op is Op.REDUCE_BY_KEY:
+            keys = np.concatenate([c[0] for c in chunks])
+            values = np.concatenate([c[1] for c in chunks])
+            return reduce_by_key(None, keys, values, None)
+        if self.op is Op.COUNT_BY_KEY:
+            keys = np.concatenate(list(chunks))
+            return reduce_by_key(
+                None, keys, np.ones(keys.shape, dtype=np.int64), None
+            )
+        if self.op is Op.SUM:
+            return int(sum(int(np.sum(c, dtype=np.int64)) for c in chunks))
+        return (
+            np.concatenate([c[0] for c in chunks]),
+            np.concatenate([c[1] for c in chunks]),
+        )
+
+    @staticmethod
+    def _equal(output, expected) -> bool:
+        if output is None:
+            return False
+        if isinstance(expected, tuple):
+            return all(
+                np.array_equal(np.asarray(o), np.asarray(e))
+                for o, e in zip(output, expected)
+            )
+        return int(output) == int(expected)
+
+    def delta(self) -> float:
+        """Analytic per-window miss probability for this tenant's checker."""
+        if self.op is Op.ZIP:
+            elements = self.soak.chunks_per_window * self.soak.chunk_size
+            return float(
+                (elements / MERSENNE31) ** 2
+            )
+        return float(self.soak.check_config().failure_bound)
+
+    # -- audit -------------------------------------------------------------
+    def evaluate(self, result) -> "TenantSoakReport":
+        """Audit one tenant's settled windows against ground truth."""
+        injected = detected = repaired = quarantined = 0
+        undetected = benign = 0
+        repairs_identical = True
+        mismatched: list[int] = []
+        latencies = result.stats.settle_latencies
+        for w, record in enumerate(result.window_history):
+            plan = self.plans.get(w)
+            output = result.outputs[w] if w < len(result.outputs) else None
+            matches = self._equal(output, self.expected(w))
+            was_detected = (
+                record.repair_attempts > 0
+                or record.quarantined
+                or not record.accepted
+            )
+            rsp = latencies[w] if w < len(latencies) else 0.0
+            self.checker.check_result(record.accepted and matches, rsp)
+            if plan is not None:
+                injected += 1
+                if was_detected:
+                    detected += 1
+                elif matches:
+                    benign += 1
+            if record.repaired:
+                repaired += 1
+                if not matches:
+                    repairs_identical = False
+            if record.quarantined:
+                quarantined += 1
+            if record.accepted and not matches:
+                undetected += 1
+                mismatched.append(w)
+        return TenantSoakReport(
+            name=self.name,
+            op=self.op,
+            windows=len(result.window_history),
+            injected=injected,
+            detected=detected,
+            repaired=repaired,
+            quarantined=quarantined,
+            undetected=undetected,
+            benign_no_ops=benign,
+            delta=self.delta(),
+            allowance=detection_allowance(injected, self.delta()),
+            succ_rate=self.checker.succ_rate(),
+            rsp_avg=self.checker.avg_rsp(),
+            rsp_max=self.checker.max_rsp(),
+            repairs_bit_identical=repairs_identical,
+            mismatched_windows=mismatched,
+            degraded=result.stats.degraded,
+            error=result.error,
+        )
+
+
+@dataclass
+class TenantSoakReport:
+    """One tenant's audited soak outcome."""
+
+    name: str
+    op: Op
+    windows: int
+    injected: int
+    detected: int
+    repaired: int
+    quarantined: int
+    undetected: int
+    benign_no_ops: int
+    delta: float
+    allowance: int
+    succ_rate: float
+    rsp_avg: float
+    rsp_max: float
+    repairs_bit_identical: bool
+    mismatched_windows: list[int] = field(default_factory=list)
+    degraded: bool = False
+    error: str | None = None
+
+    @property
+    def within_allowance(self) -> bool:
+        """Undetected corruptions stay inside the analytic failure bound."""
+        return self.undetected <= self.allowance
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "op": self.op.value,
+            "windows": self.windows,
+            "injected": self.injected,
+            "detected": self.detected,
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+            "undetected": self.undetected,
+            "benign_no_ops": self.benign_no_ops,
+            "delta": self.delta,
+            "allowance": self.allowance,
+            "succ_rate": self.succ_rate,
+            "rsp_avg": self.rsp_avg,
+            "rsp_max": self.rsp_max,
+            "repairs_bit_identical": self.repairs_bit_identical,
+            "within_allowance": self.within_allowance,
+            "degraded": self.degraded,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SoakReport:
+    """Whole-run audit: per-tenant reports plus run-level verdicts."""
+
+    tenants: list[TenantSoakReport]
+    elapsed_seconds: float
+    service_report: dict
+
+    @property
+    def windows(self) -> int:
+        return sum(t.windows for t in self.tenants)
+
+    @property
+    def injected(self) -> int:
+        return sum(t.injected for t in self.tenants)
+
+    @property
+    def detected(self) -> int:
+        return sum(t.detected for t in self.tenants)
+
+    @property
+    def repaired(self) -> int:
+        return sum(t.repaired for t in self.tenants)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(t.quarantined for t in self.tenants)
+
+    @property
+    def undetected(self) -> int:
+        return sum(t.undetected for t in self.tenants)
+
+    @property
+    def within_allowance(self) -> bool:
+        return all(t.within_allowance for t in self.tenants)
+
+    @property
+    def repairs_bit_identical(self) -> bool:
+        return all(t.repairs_bit_identical for t in self.tenants)
+
+    def table(self) -> str:
+        """Per-tenant report table (the demo's final output)."""
+        header = (
+            f"{'tenant':<14} {'op':<14} {'win':>4} {'inj':>4} {'det':>4} "
+            f"{'rep':>4} {'quar':>4} {'miss':>4} {'succ%':>7} "
+            f"{'rsp avg':>8} {'rsp max':>8} {'degr':>5}"
+        )
+        lines = [header, "-" * len(header)]
+        for t in self.tenants:
+            lines.append(
+                f"{t.name:<14} {t.op.value:<14} {t.windows:>4} {t.injected:>4} "
+                f"{t.detected:>4} {t.repaired:>4} {t.quarantined:>4} "
+                f"{t.undetected:>4} {100.0 * t.succ_rate:>6.1f}% "
+                f"{t.rsp_avg:>7.3f}s {t.rsp_max:>7.3f}s "
+                f"{'yes' if t.degraded else 'no':>5}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"totals: {self.windows} windows, {self.injected} injected, "
+            f"{self.detected} detected, {self.repaired} repaired, "
+            f"{self.quarantined} quarantined, {self.undetected} undetected "
+            f"(allowance ok: {self.within_allowance}; repairs bit-identical: "
+            f"{self.repairs_bit_identical}) in {self.elapsed_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        return {
+            "tenants": [t.to_payload() for t in self.tenants],
+            "windows": self.windows,
+            "injected": self.injected,
+            "detected": self.detected,
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+            "undetected": self.undetected,
+            "within_allowance": self.within_allowance,
+            "repairs_bit_identical": self.repairs_bit_identical,
+            "elapsed_seconds": self.elapsed_seconds,
+            "service": self.service_report,
+        }
+
+
+def build_tenants(cfg: SoakConfig) -> list[TenantChaos]:
+    """The run's tenant scripts; extras (always-faulting) come last."""
+    tenants = []
+    for t in range(cfg.tenants + cfg.extra_chaos_tenants):
+        extra = t >= cfg.tenants
+        op = cfg.ops[t % len(cfg.ops)]
+        tenants.append(
+            TenantChaos(
+                name=(f"chaos-{t}" if extra else f"tenant-{t}"),
+                op=op,
+                seed=derive_seed(cfg.seed, "tenant", t),
+                soak=cfg,
+                fault_rate=1.0 if extra else cfg.fault_rate,
+                persistent_share=1.0 if extra else cfg.persistent_share,
+            )
+        )
+    return tenants
+
+
+def run_soak(cfg: SoakConfig) -> SoakReport:
+    """Run one deterministic chaos soak and audit every window."""
+    tenants = build_tenants(cfg)
+    service = CheckedStreamService()
+    handles = {}
+    for tc in tenants:
+        handles[tc.name] = service.register(tc.name, tc.tenant_config())
+    start = time.perf_counter()
+    # Window-major round-robin feed: every tenant's stream is live at
+    # once, which is the point of the multiplexing soak.
+    for w in range(cfg.windows_per_tenant):
+        for tc in tenants:
+            for chunk in tc.window_chunks(w):
+                handles[tc.name].submit(chunk)
+    for tc in tenants:
+        handles[tc.name].close()
+    service.drain()
+    elapsed = time.perf_counter() - start
+    reports = [tc.evaluate(service.result(tc.name)) for tc in tenants]
+    return SoakReport(
+        tenants=reports,
+        elapsed_seconds=elapsed,
+        service_report=service.report(),
+    )

@@ -1,0 +1,159 @@
+"""Chaos soak harness tests: determinism, detection accounting, gates.
+
+The soak's evaluation must line up with the paper's analytic model:
+every injected corruption is either detected (repair/quarantine trail),
+a benign no-op (output still equals clean ground truth), or an
+undetected miss bounded by :func:`detection_allowance`; healed windows
+must be bit-identical to a clean run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy import detection_allowance
+from repro.service import Op, OpChecker, SoakConfig, build_tenants, run_soak
+
+SMALL = SoakConfig(
+    tenants=4,
+    windows_per_tenant=3,
+    chunks_per_window=2,
+    chunk_size=64,
+    key_domain=32,
+    fault_rate=1.0,
+    persistent_share=0.4,
+    seed=3,
+)
+
+
+def logical_payload(report):
+    """The soak outcome minus wall-clock noise (for determinism checks)."""
+    drop = {"rsp_avg", "rsp_max"}
+    return [
+        {k: v for k, v in t.to_payload().items() if k not in drop}
+        for t in report.tenants
+    ]
+
+
+class TestDetectionAllowance:
+    def test_zero_cases(self):
+        assert detection_allowance(0, 0.5) == 0
+        assert detection_allowance(10, 0.0) == 0
+
+    def test_tiny_delta_allows_nothing(self):
+        # When even one miss would be a < tail event, nothing is allowed.
+        assert detection_allowance(100, 1e-9) == 0
+        # At 1e-5 a single miss among 100 injections is still plausible.
+        assert detection_allowance(100, 1e-5) == 1
+
+    def test_large_delta_allows_misses(self):
+        # Binomial(100, 0.5): the 1e-6 upper tail sits ~4.7 sigma out.
+        allowance = detection_allowance(100, 0.5)
+        assert 65 <= allowance <= 80
+
+    def test_monotone_in_delta(self):
+        assert detection_allowance(50, 0.01) <= detection_allowance(50, 0.3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            detection_allowance(-1, 0.1)
+        with pytest.raises(ValueError):
+            detection_allowance(5, 1.0)
+
+
+class TestOpChecker:
+    def test_accounting(self):
+        checker = OpChecker(Op.SUM)
+        assert checker.succ_rate() == 1.0
+        checker.check_result(True, 0.1)
+        checker.check_result(True, 0.3)
+        checker.check_result(False, 0.2)
+        assert checker.total() == 3
+        assert checker.succ_rate() == pytest.approx(2 / 3)
+        assert checker.avg_rsp() == pytest.approx(0.2)
+        assert checker.max_rsp() == pytest.approx(0.3)
+
+
+class TestSoak:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_soak(SMALL)
+
+    def test_every_op_exercised(self, report):
+        assert {t.op for t in report.tenants} == set(SMALL.ops)
+        assert report.windows == SMALL.tenants * SMALL.windows_per_tenant
+
+    def test_no_tenant_crashes(self, report):
+        assert all(t.error is None for t in report.tenants)
+
+    def test_all_faults_accounted(self, report):
+        assert report.injected == report.windows  # fault_rate 1.0
+        for t in report.tenants:
+            # Every injection is detected, provably benign, or within
+            # the analytic miss allowance.
+            assert t.detected + t.benign_no_ops + t.undetected == t.injected
+            assert t.undetected <= t.allowance
+        # This seed's run is fully deterministic: zero actual misses.
+        assert report.undetected == 0
+        assert report.within_allowance
+
+    def test_transients_heal_persistents_quarantine(self, report):
+        assert report.repaired > 0
+        assert report.quarantined > 0
+        for t in report.tenants:
+            assert t.repaired + t.quarantined == t.detected
+            if t.quarantined:
+                assert t.degraded
+
+    def test_repairs_bit_identical(self, report):
+        assert report.repairs_bit_identical
+        for t in report.tenants:
+            assert not t.mismatched_windows
+
+    def test_logical_determinism(self, report):
+        assert logical_payload(report) == logical_payload(run_soak(SMALL))
+
+    def test_table_and_payload(self, report):
+        table = report.table()
+        for t in report.tenants:
+            assert t.name in table
+        payload = report.to_payload()
+        assert payload["windows"] == report.windows
+        assert payload["repairs_bit_identical"] is True
+        assert set(payload["service"]) == {t.name for t in report.tenants}
+
+
+class TestChaosTenantConstruction:
+    def test_extra_chaos_tenants_leave_base_plans_alone(self):
+        base = build_tenants(SMALL)
+        cfg = SoakConfig(**{**SMALL.__dict__, "extra_chaos_tenants": 3})
+        extended = build_tenants(cfg)
+        assert len(extended) == len(base) + 3
+        for a, b in zip(base, extended):
+            assert a.name == b.name and a.seed == b.seed
+            assert a.plans == b.plans
+            for w in range(SMALL.windows_per_tenant):
+                for ca, cb in zip(a.window_chunks(w), b.window_chunks(w)):
+                    if isinstance(ca, tuple):
+                        assert all(
+                            np.array_equal(x, y) for x, y in zip(ca, cb)
+                        )
+                    else:
+                        assert np.array_equal(ca, cb)
+        for extra in extended[len(base):]:
+            assert extra.name.startswith("chaos-")
+            # Always-faulting and fully persistent.
+            assert len(extra.plans) == SMALL.windows_per_tenant
+            assert all(p.persistent for p in extra.plans.values())
+
+    def test_faulty_ops_use_matching_rosters(self):
+        from repro.service import KV_FAULTS, SEQ_FAULTS, ZIP_FAULTS
+
+        for tc in build_tenants(SMALL):
+            roster = {
+                Op.REDUCE_BY_KEY: KV_FAULTS,
+                Op.COUNT_BY_KEY: KV_FAULTS,
+                Op.SUM: SEQ_FAULTS,
+                Op.ZIP: ZIP_FAULTS,
+            }[tc.op]
+            for plan in tc.plans.values():
+                assert plan.manipulator in roster
