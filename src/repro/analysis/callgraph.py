@@ -62,7 +62,16 @@ REPLICATED_COLLECTIVES = {"allreduce", "broadcast", "bcast", "allgather", "barri
 #: Modules whose top-level functions named like collectives ARE the
 #: collective primitives (they implement them from point-to-point sends,
 #: so a textual scan of their bodies would not see any collective).
-_PRIMITIVE_MODULE_SUFFIXES = ("comm.collectives", "comm.communicator")
+_PRIMITIVE_MODULE_SUFFIXES = (
+    "comm.collectives",
+    "comm.communicator",
+    # Transport backends implement the same primitives over real fabrics
+    # (shared-memory rings, MPI); their internal send/recv loops are the
+    # primitives themselves, not call sites to check for lockstep.
+    "comm.backend",
+    "comm.proc_backend",
+    "comm.mpi_backend",
+)
 
 _SHAPE_ATTRS = {"size", "shape", "ndim", "nbytes"}
 _PER_PE_TOKENS = {"rank", "local"}

@@ -15,22 +15,29 @@ The paper analyses algorithms in the single-ported, full-duplex α–β model
   paper cites [7, 8, 9].
 """
 
+from repro.comm import ops
+from repro.comm.backend import BACKEND_ENV, BACKENDS, resolve_backend
 from repro.comm.cost import (
     CostModel,
     TrafficMeter,
     bottleneck_volume,
     payload_nbytes,
 )
-from repro.comm.network import Network
+from repro.comm.network import Network, NetworkEndpoint
 from repro.comm.communicator import Comm
 from repro.comm.context import Context, SPMDError
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
     "CostModel",
     "TrafficMeter",
     "bottleneck_volume",
+    "ops",
     "payload_nbytes",
+    "resolve_backend",
     "Network",
+    "NetworkEndpoint",
     "Comm",
     "Context",
     "SPMDError",

@@ -3,6 +3,15 @@
 Lower-case method names communicate arbitrary Python payloads, as in mpi4py;
 numpy arrays are metered by buffer size (the fast path a real implementation
 would take).
+
+A :class:`Comm` is written against the :class:`~repro.comm.backend.CommBackend`
+endpoint protocol, so the same SPMD program runs unchanged over the thread
+mailbox network (the oracle), shared-memory processes, or mpi4py.  All
+collectives route through the identical tree schedules in
+:mod:`repro.comm.collectives`; when an endpoint offers a native fast path
+(``native_allreduce`` etc.) it is consulted first and falls through to the
+trees whenever it declines, which keeps verdicts bit-identical across
+backends.
 """
 
 from __future__ import annotations
@@ -10,36 +19,67 @@ from __future__ import annotations
 from typing import Callable, TypeVar
 
 from repro.comm import collectives
-from repro.comm.network import Network
+from repro.comm.network import Network, NetworkEndpoint
 
 T = TypeVar("T")
 
 
 class Comm:
-    """Communication endpoint of one PE inside a :class:`Network`."""
+    """Communication endpoint of one PE inside a backend fabric."""
 
     def __init__(self, rank: int, network: Network):
+        # Back-compat constructor: wrap the mailbox network. New transports
+        # come in through :meth:`from_endpoint`.
+        self._endpoint = NetworkEndpoint(rank, network)
         self.rank = rank
-        self.network = network
         self.size = network.size
+        self.network = network
+
+    @classmethod
+    def from_endpoint(cls, endpoint) -> "Comm":
+        comm = cls.__new__(cls)
+        comm._endpoint = endpoint
+        comm.rank = endpoint.rank
+        comm.size = endpoint.size
+        comm.network = getattr(endpoint, "network", None)
+        return comm
+
+    @property
+    def endpoint(self):
+        """The transport endpoint this communicator drives."""
+        return self._endpoint
 
     # -- point to point ----------------------------------------------------
     def send(self, dst: int, payload) -> None:
         """Send ``payload`` to PE ``dst`` (asynchronous, always succeeds)."""
-        self.network.send(self.rank, dst, payload)
+        self._endpoint.send(dst, payload)
 
     def recv(self, src: int):
         """Blocking receive of the next message from PE ``src``."""
-        return self.network.recv(self.rank, src)
+        return self._endpoint.recv(src)
 
     def sendrecv(self, partner: int, payload):
-        """Exchange payloads with ``partner`` (deadlock-free)."""
+        """Exchange payloads with ``partner`` (deadlock-free).
+
+        Contract: both PEs of the pair must call this at the same point of
+        the program.  On the thread backend this is literally send-then-recv,
+        which cannot deadlock *only because the mailbox network buffers
+        infinitely* — the send deposits into an unbounded queue and returns.
+        Real transports have finite buffering, so the process and MPI
+        endpoints provide ``exchange``: a genuinely nonblocking pairwise
+        swap in which the outgoing and incoming messages make interleaved
+        progress.  Do not add a backend whose ``send`` can block without
+        also implementing ``exchange``.
+        """
+        exchange = getattr(self._endpoint, "exchange", None)
+        if exchange is not None:
+            return exchange(partner, payload)
         self.send(partner, payload)
         return self.recv(partner)
 
     def barrier(self) -> None:
         """Synchronize all PEs."""
-        self.network.barrier()
+        self._endpoint.barrier()
 
     # -- collectives ---------------------------------------------------------
     def bcast(self, value: T, root: int = 0) -> T:
@@ -49,6 +89,11 @@ class Comm:
         return collectives.reduce(self, value, op, root)
 
     def allreduce(self, value: T, op: Callable[[T, T], T]) -> T:
+        native = getattr(self._endpoint, "native_allreduce", None)
+        if native is not None:
+            handled, result = native(value, op)
+            if handled:
+                return result
         return collectives.allreduce(self, value, op)
 
     def gather(self, value: T, root: int = 0):
@@ -61,9 +106,19 @@ class Comm:
         return collectives.scan(self, value, op)
 
     def exscan(self, value: T, op: Callable[[T, T], T], identity: T) -> T:
+        native = getattr(self._endpoint, "native_exscan", None)
+        if native is not None:
+            handled, result = native(value, op, identity)
+            if handled:
+                return result
         return collectives.exscan(self, value, op, identity)
 
     def alltoall(self, payloads: list) -> list:
+        native = getattr(self._endpoint, "native_alltoall", None)
+        if native is not None:
+            handled, result = native(payloads)
+            if handled:
+                return result
         return collectives.alltoall(self, payloads)
 
     def alltoall_hypercube(self, payloads: list) -> list:
@@ -73,7 +128,7 @@ class Comm:
     @property
     def meter(self):
         """This PE's traffic meter."""
-        return self.network.meters[self.rank]
+        return self._endpoint.meter
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Comm(rank={self.rank}, size={self.size})"

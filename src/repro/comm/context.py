@@ -1,13 +1,20 @@
-"""SPMD execution context: run the same function on ``p`` simulated PEs.
+"""SPMD execution context: run the same function on ``p`` PEs.
 
-Each PE is a Python thread with its own :class:`~repro.comm.communicator.Comm`
-handle; threads communicate only through the metered mailbox network, so the
-programs written against this context are genuine message-passing programs
-(they run unchanged over any point-to-point transport).
+The transport is pluggable (ROADMAP item 1): ``backend="threads"`` runs
+each PE as a Python thread over the metered mailbox network (the default
+oracle), ``"processes"`` forks real OS processes exchanging payloads
+through shared-memory rings (:mod:`repro.comm.proc_backend`), and
+``"mpi"`` uses mpi4py under ``mpiexec`` (:mod:`repro.comm.mpi_backend`,
+optional — sticky fallback to threads when absent).  The environment
+variable ``REPRO_COMM_BACKEND`` switches the default for every context
+that does not pass ``backend`` explicitly, which is how the whole test
+suite re-runs on real processes.  Programs written against this context
+are genuine message-passing programs and produce bit-identical results on
+every backend.
 
 Usage::
 
-    ctx = Context(num_pes=4)
+    ctx = Context(num_pes=4)                      # or backend="processes"
     def program(comm, chunk):
         total = comm.allreduce(int(chunk.sum()), op=lambda a, b: a + b)
         return total
@@ -21,6 +28,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.comm.backend import (
+    BACKEND_MPI,
+    BACKEND_PROCESSES,
+    BACKEND_THREADS,
+    resolve_backend,
+)
 from repro.comm.communicator import Comm
 from repro.comm.cost import CostModel, TrafficMeter, bottleneck_volume
 from repro.comm.network import Network
@@ -39,14 +52,32 @@ class SPMDError(RuntimeError):
 
 
 class Context:
-    """Runner for SPMD programs over a simulated network of ``num_pes`` PEs."""
+    """Runner for SPMD programs over a network of ``num_pes`` PEs."""
 
-    def __init__(self, num_pes: int, cost_model: CostModel | None = None):
+    def __init__(
+        self,
+        num_pes: int,
+        cost_model: CostModel | None = None,
+        backend: str | None = None,
+    ):
         if num_pes < 1:
             raise ValueError(f"num_pes must be >= 1, got {num_pes}")
         self.num_pes = num_pes
         self.cost_model = cost_model or CostModel()
+        self.backend = self._resolve(backend)
         self.last_network: Network | None = None
+        self._last_meters: list[TrafficMeter] = []
+
+    @staticmethod
+    def _resolve(backend: str | None) -> str:
+        name = resolve_backend(backend)
+        if name == BACKEND_MPI:
+            from repro.comm import mpi_backend
+
+            if not mpi_backend.mpi_available():
+                mpi_backend.warn_fallback_once()
+                return BACKEND_THREADS
+        return name
 
     # -- data distribution helpers -------------------------------------------
     def split(self, data: Sequence | np.ndarray) -> list:
@@ -73,8 +104,16 @@ class Context:
         per-rank values, or a list of per-rank tuples (splatted).  Exceptions
         on any PE are collected and re-raised as :class:`SPMDError`.
         """
+        if self.backend == BACKEND_PROCESSES and self.num_pes > 1:
+            return self._run_processes(fn, per_rank_args, common_args)
+        if self.backend == BACKEND_MPI and self.num_pes > 1:
+            return self._run_mpi(fn, per_rank_args, common_args)
+        return self._run_threads(fn, per_rank_args, common_args)
+
+    def _run_threads(self, fn, per_rank_args, common_args) -> list:
         network = Network(self.num_pes, self.cost_model)
         self.last_network = network
+        self._last_meters = network.meters
         results: list = [None] * self.num_pes
         failures: dict[int, BaseException] = {}
 
@@ -104,13 +143,35 @@ class Context:
             raise SPMDError(failures)
         return results
 
+    def _run_processes(self, fn, per_rank_args, common_args) -> list:
+        from repro.comm import proc_backend
+
+        self.last_network = None
+        results, meters, failures = proc_backend.run_spmd(
+            self.num_pes, fn, per_rank_args, common_args, self.cost_model
+        )
+        self._last_meters = meters
+        if failures:
+            raise SPMDError(failures)
+        return results
+
+    def _run_mpi(self, fn, per_rank_args, common_args) -> list:
+        from repro.comm import mpi_backend
+
+        self.last_network = None
+        results, meters, failures = mpi_backend.run_under_mpi(
+            self.num_pes, fn, per_rank_args, common_args, self.cost_model
+        )
+        self._last_meters = meters
+        if failures:
+            raise SPMDError(failures)
+        return results
+
     # -- accounting ------------------------------------------------------------
     @property
     def meters(self) -> list[TrafficMeter]:
         """Traffic meters of the most recent :meth:`run`."""
-        if self.last_network is None:
-            return []
-        return self.last_network.meters
+        return list(self._last_meters)
 
     def traffic_summary(self) -> dict:
         """Aggregate communication statistics of the most recent run."""

@@ -94,17 +94,27 @@ class TrafficMeter:
     messages_received: int = 0
     send_time: float = 0.0
     recv_time: float = 0.0
+    #: Actual serialized bytes on the wire (frame headers + pickle overhead
+    #: included).  The thread backend has no wire, so these stay zero there;
+    #: the process/MPI backends fill them in so the α–β model's predicted
+    #: volume (``bytes_sent``) can be validated against reality.
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
     _marks: dict = field(default_factory=dict)
 
-    def record_send(self, nbytes: int, cost: CostModel) -> None:
+    def record_send(self, nbytes: int, cost: CostModel, wire_nbytes: int | None = None) -> None:
         self.bytes_sent += nbytes
         self.messages_sent += 1
         self.send_time += cost.message_time(nbytes)
+        if wire_nbytes is not None:
+            self.wire_bytes_sent += wire_nbytes
 
-    def record_recv(self, nbytes: int, cost: CostModel) -> None:
+    def record_recv(self, nbytes: int, cost: CostModel, wire_nbytes: int | None = None) -> None:
         self.bytes_received += nbytes
         self.messages_received += 1
         self.recv_time += cost.message_time(nbytes)
+        if wire_nbytes is not None:
+            self.wire_bytes_received += wire_nbytes
 
     @property
     def volume(self) -> int:

@@ -66,3 +66,32 @@ class Network:
         """Synchronize all PEs (not metered; used only for phase timing)."""
         if self._barrier is not None:
             self._barrier.wait(timeout=_RECV_TIMEOUT)
+
+
+class NetworkEndpoint:
+    """Per-rank CommBackend view of a :class:`Network` (the thread oracle).
+
+    Sends deposit into unbounded queues and never block, so this endpoint
+    needs no ``exchange`` capability and offers no native collectives — it
+    is the reference the other backends must match bit for bit.
+    """
+
+    __slots__ = ("rank", "size", "network")
+
+    def __init__(self, rank: int, network: Network):
+        self.rank = rank
+        self.size = network.size
+        self.network = network
+
+    def send(self, dst: int, payload) -> None:
+        self.network.send(self.rank, dst, payload)
+
+    def recv(self, src: int):
+        return self.network.recv(self.rank, src)
+
+    def barrier(self) -> None:
+        self.network.barrier()
+
+    @property
+    def meter(self):
+        return self.network.meters[self.rank]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.permutation_checker import check_permutation_hashsum
 from repro.core.sum_checker import _coerce_keys
@@ -77,7 +78,7 @@ def check_groupby_redistribution(
     post_keys = np.asarray(post_kv[0])
     placement_ok = bool(np.all(partitioner(post_keys) == rank))
     if comm is not None:
-        placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+        placement_ok = comm.allreduce(placement_ok, op=ops.LAND)
     return CheckResult(
         accepted=perm.accepted and placement_ok,
         checker="groupby-redistribution",
@@ -123,7 +124,7 @@ def check_groupby_redistribution_multiseed(
     post_keys = np.asarray(post_kv[0])
     placement_ok = bool(np.all(partitioner(post_keys) == rank))
     if comm is not None:
-        placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+        placement_ok = comm.allreduce(placement_ok, op=ops.LAND)
     per_seed = [
         p and placement_ok for p in perm.details["per_seed_accepted"]
     ]

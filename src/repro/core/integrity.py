@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.hashing.crc32c import crc32c_bytes, crc32c_zero_advance
 from repro.util.rng import derive_seed, derive_seed_array
@@ -76,7 +77,7 @@ def check_replicated(comm, *arrays, seed: int = 0) -> CheckResult:
         return CheckResult(True, "result-integrity", {"pes": 1})
     root_digest = comm.bcast(digest, root=0)
     same = digest == root_digest
-    all_same = comm.allreduce(bool(same), op=lambda a, b: a and b)
+    all_same = comm.allreduce(bool(same), op=ops.LAND)
     return CheckResult(
         accepted=bool(all_same),
         checker="result-integrity",

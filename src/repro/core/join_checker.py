@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.groupby_checker import encode_records
 from repro.core.permutation_checker import check_permutation_hashsum
@@ -47,7 +48,7 @@ def _range_partitioned(keys: np.ndarray, comm) -> bool:
     ok = True
     if keys.size and prev_max is not _NEG_INF:
         ok = local_min >= prev_max
-    return bool(comm.allreduce(ok, op=lambda a, b: a and b))
+    return bool(comm.allreduce(ok, op=ops.LAND))
 
 
 def check_join_redistribution(
@@ -94,7 +95,7 @@ def check_join_redistribution(
             and np.all(partitioner(np.asarray(s_post[0])) == rank)
         )
         if comm is not None:
-            placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+            placement_ok = comm.allreduce(placement_ok, op=ops.LAND)
     else:
         combined = np.concatenate(
             [

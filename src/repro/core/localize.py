@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.multiseed import (
     CondensedKV,
     MultiSeedSumChecker,
@@ -153,7 +154,7 @@ def _combine_tables(comm, tables: np.ndarray, operator: str):
                 a.view(np.uint64) ^ b.view(np.uint64)
             ).view(np.int64),
         )
-    return comm.allreduce(tables, op=lambda a, b: a + b)
+    return comm.allreduce(tables, op=ops.SUM)
 
 
 def _implicated_pes(comm, flag: bool):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.integrity import replicated_digest as _digest
 from repro.core.integrity import replicated_digest_multiseed
@@ -101,7 +102,7 @@ def _check_extremum(
         in_keys, in_values, keys, values, owners, rank, size
     )
     if comm is not None:
-        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+        ok = comm.allreduce(bool(ok), op=ops.LAND)
 
     return CheckResult(
         accepted=bool(ok),
@@ -150,7 +151,7 @@ def _check_extremum_multiseed(
         in_keys, in_values, keys, values, owners, rank, size
     )
     if comm is not None:
-        det_ok = comm.allreduce(bool(det_ok), op=lambda a, b: a and b)
+        det_ok = comm.allreduce(bool(det_ok), op=ops.LAND)
         integrity = comm.allreduce(
             integrity, op=lambda a, b: [x and y for x, y in zip(a, b)]
         )
@@ -267,7 +268,7 @@ def check_min_aggregation_bitvector(
                 np.bitwise_or.at(present, clipped[hit], np.uint8(1))
 
     if comm is not None:
-        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+        ok = comm.allreduce(bool(ok), op=ops.LAND)
         # The O(βk) step: OR-reduce the per-key presence bitvector.
         packed = np.packbits(present)
         combined = comm.allreduce(packed, op=np.bitwise_or)

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.hashing.families import get_family
 from repro.hashing.gf2 import gf64_mul, gf64_product
@@ -238,7 +239,7 @@ def check_permutation_polynomial(
     o_seqs = _as_sequences(o_side)
     local_n = sum(s.size for s in e_seqs)
     if comm is not None:
-        n = comm.allreduce(local_n, op=lambda a, b: a + b)
+        n = comm.allreduce(local_n, op=ops.SUM)
     else:
         n = total_n if total_n is not None else local_n
     n = max(n, 1)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.permutation_checker import (
     check_permutation_gf64,
@@ -55,7 +56,7 @@ def check_globally_sorted(values, comm=None) -> CheckResult:
         prev_max = comm.exscan(local_max, _max_op, identity=_NEG_INF)
         if ok and values.size and prev_max is not _NEG_INF:
             ok = int(values[0]) >= prev_max
-        ok = comm.allreduce(bool(ok), op=lambda a, b: a and b)
+        ok = comm.allreduce(bool(ok), op=ops.LAND)
     return CheckResult(
         accepted=bool(ok),
         checker="sortedness",

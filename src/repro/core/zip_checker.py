@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.hashing.families import get_family
 from repro.util.rng import derive_seed
@@ -74,7 +75,7 @@ def _global_offset(comm, local_count: int) -> int:
     """Exclusive prefix sum of local counts = this PE's global offset."""
     if comm is None:
         return 0
-    return comm.exscan(local_count, op=lambda a, b: a + b, identity=0)
+    return comm.exscan(local_count, op=ops.SUM, identity=0)
 
 
 def _global_offsets(comm, *local_counts: int) -> tuple[int, ...]:

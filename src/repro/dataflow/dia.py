@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.params import SumCheckConfig
 from repro.core.sort_checker import check_globally_sorted, check_sort
@@ -73,7 +74,7 @@ class DIA:
         n = int(self.local.size)
         if self.comm is None:
             return n
-        return self.comm.allreduce(n, op=lambda a, b: a + b)
+        return self.comm.allreduce(n, op=ops.SUM)
 
     def collect_local(self) -> np.ndarray:
         """This PE's local slice."""

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import ops
+
 
 def global_offset(comm, local_count: int) -> int:
     """This PE's starting index in the global concatenation order."""
     if comm is None:
         return 0
-    return comm.exscan(local_count, op=lambda a, b: a + b, identity=0)
+    return comm.exscan(local_count, op=ops.SUM, identity=0)
 
 
 def global_offsets(comm, *local_counts: int) -> tuple[int, ...]:

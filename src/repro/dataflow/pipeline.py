@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.multiseed import (
     CondensedKV,
@@ -455,7 +456,7 @@ def adaptive_groupby_check(
     post_keys = np.asarray(post_kv[0])
     placement_ok = bool(np.all(partitioner(post_keys) == rank))
     if comm is not None:
-        placement_ok = comm.allreduce(placement_ok, op=lambda a, b: a and b)
+        placement_ok = comm.allreduce(placement_ok, op=ops.LAND)
     return adaptive_permutation_check(
         encode_records(*pre_kv),
         encode_records(*post_kv),

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.localize import FaultReport
 from repro.core.multiseed import MultiSeedSumChecker, condense_kv
@@ -326,7 +327,7 @@ def repair_sum_window(
             if comm is None:
                 total = local
             else:
-                total = comm.allreduce(local, op=lambda a, b: a + b)
+                total = comm.allreduce(local, op=ops.SUM)
         roots = policy.attempt_seed_roots(window_seed, attempt)
         checker = MultiSeedSumChecker(config, roots)
         if rank == 0:

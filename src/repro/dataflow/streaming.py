@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.comm import ops
 from repro.core.base import CheckResult
 from repro.core.localize import FaultReport, localize_fault
 from repro.core.params import SumCheckConfig
@@ -155,7 +156,7 @@ class _ChunkSource:
         has_local = len(window) > 0
         if self.comm is None:
             return has_local
-        return self.comm.allreduce(has_local, op=lambda a, b: a or b)
+        return self.comm.allreduce(has_local, op=ops.LOR)
 
 
 class StreamingDIA(_ChunkSource):
@@ -610,7 +611,7 @@ def settle_sum_window(
         local = int(np.sum(values, dtype=np.int64))
         if comm_ is None:
             return local
-        return comm_.allreduce(local, op=lambda a, b: a + b)
+        return comm_.allreduce(local, op=ops.SUM)
 
     total = _operation(comm, _concat(vals, dtype=np.int64))
     t_op_done = time.perf_counter()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.comm import ops
 from repro.comm.context import Context
 from repro.comm.cost import bottleneck_volume
 from repro.core.median_checker import check_median_aggregation
@@ -141,7 +142,7 @@ def _median_volume(n: int, p: int, seed: int) -> VolumeRow:
 
     def program(comm, k, v):
         med = median_by_key(comm, k, v)
-        offset = comm.exscan(int(k.size), op=lambda a, b: a + b, identity=0)
+        offset = comm.exscan(int(k.size), op=ops.SUM, identity=0)
         uids = offset + np.arange(k.size, dtype=np.int64)
         comm.meter.mark("checker")
         check_median_aggregation(

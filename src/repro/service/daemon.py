@@ -17,7 +17,9 @@ Robustness properties, each load-bearing for the soak harness:
 * **Settlement timeout and bounded retry** — an attempt that raises or
   overruns ``settle_timeout`` is retried under a fresh derived seed
   after exponential backoff; exhaustion quarantines the window and marks
-  the tenant degraded.  The daemon keeps running.
+  the tenant degraded.  The daemon keeps running.  For distributed
+  tenants every attempt ends in a *retry-consensus* allreduce, so all
+  ranks retry (or give up) together under the same derived seed.
 * **Poison-chunk capture** — a malformed chunk becomes a
   :class:`~repro.service.tenant.PoisonRecord` and degrades only its own
   tenant; it never reaches a checker and never crashes a worker.
@@ -34,9 +36,11 @@ Distributed use: build one :class:`TenantCommGrid` for the PE count,
 then one service per rank with ``comm_factory=grid.factory(rank)`` and
 register each tenant on every rank (same name, same config) — the per-
 tenant workers then run the settle collectives in lockstep on the
-tenant's private network.  The settlement *retry* loop is per-rank, so
-distributed tenants should keep the default unbounded ``settle_timeout``
-(timeouts are a single-rank robustness feature).
+tenant's private fabric.  The settlement *retry* loop reaches consensus
+after every attempt (one extra ``allreduce`` per window — O(α log p) in
+the cost model), so multi-PE tenants may set a finite ``settle_timeout``:
+a timeout on any rank makes *all* ranks retry in lockstep under the same
+derived seed, and retry exhaustion is likewise uniform.
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.comm import Comm, Network
+from repro.comm import Comm, Network, ops, resolve_backend
 from repro.core.base import CheckResult
 from repro.dataflow.pipeline import CheckedRunStats, StatsAccumulator
 from repro.dataflow.repair import QuarantinedWindow
@@ -82,21 +86,46 @@ class _SettleTimeout(RuntimeError):
 
 
 class TenantCommGrid:
-    """Private per-tenant networks for distributed service tenants.
+    """Private per-tenant communication fabrics for distributed tenants.
 
-    One :class:`~repro.comm.Network` per tenant name, created lazily and
-    shared by all ranks — so every tenant's collectives run on their own
-    mailboxes and tenants can never corrupt each other's messages (the
-    networks are untagged; sharing one across concurrent tenant workers
-    would interleave payloads).
+    One fabric per tenant name, created lazily and shared by all ranks —
+    so every tenant's collectives run on their own channel and tenants can
+    never corrupt each other's messages (the fabrics are untagged; sharing
+    one across concurrent tenant workers would interleave payloads).
+
+    The transport is pluggable like :class:`~repro.comm.Context`:
+    ``backend="threads"`` (default) hands out mailbox
+    :class:`~repro.comm.Network` comms; ``"processes"`` hands out
+    shared-memory ring endpoints (:class:`~repro.comm.proc_backend.ShmFabric`
+    per tenant — usable both by worker threads in one service process and
+    by service processes forked around the grid); ``"mpi"`` duplicates a
+    private MPI communicator per tenant (sticky fallback to threads when
+    mpi4py is absent).  Call :meth:`close` when done with a non-thread
+    grid to release the fabrics.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, backend: str | None = None):
         self.size = size
+        self.backend = resolve_backend(backend)
+        if self.backend == "mpi":
+            from repro.comm import mpi_backend
+
+            if not mpi_backend.mpi_available():
+                mpi_backend.warn_fallback_once()
+                self.backend = "threads"
         self._lock = threading.Lock()
         self._networks: dict[str, Network] = {}
+        self._fabrics: dict[str, object] = {}
+        self._endpoints: dict[tuple[str, int], object] = {}
+        self._mpi_comms: dict[str, object] = {}
 
     def network(self, name: str) -> Network:
+        """The tenant's mailbox network (thread backend only)."""
+        if self.backend != "threads":
+            raise RuntimeError(
+                f"TenantCommGrid(backend={self.backend!r}) has no mailbox "
+                f"networks; use comm()/factory()"
+            )
         with self._lock:
             net = self._networks.get(name)
             if net is None:
@@ -105,7 +134,32 @@ class TenantCommGrid:
             return net
 
     def comm(self, name: str, rank: int) -> Comm:
-        return Comm(rank, self.network(name))
+        if self.backend == "threads":
+            return Comm(rank, self.network(name))
+        if self.backend == "processes":
+            from repro.comm.proc_backend import ShmEndpoint, ShmFabric
+
+            with self._lock:
+                endpoint = self._endpoints.get((name, rank))
+                if endpoint is None:
+                    fabric = self._fabrics.get(name)
+                    if fabric is None:
+                        fabric = ShmFabric.create(self.size)
+                        self._fabrics[name] = fabric
+                    endpoint = ShmEndpoint(rank, fabric)
+                    self._endpoints[(name, rank)] = endpoint
+            return Comm.from_endpoint(endpoint)
+        from repro.comm.mpi_backend import MpiEndpoint, _try_mpi
+
+        MPI = _try_mpi()
+        with self._lock:
+            # Dup() is collective: every rank's grid must request tenants
+            # in the same order (registration order, as documented above).
+            mpi_comm = self._mpi_comms.get(name)
+            if mpi_comm is None:
+                mpi_comm = MPI.COMM_WORLD.Dup()
+                self._mpi_comms[name] = mpi_comm
+        return Comm.from_endpoint(MpiEndpoint(mpi_comm))
 
     def factory(self, rank: int):
         """The ``comm_factory`` for one rank's service instance."""
@@ -114,6 +168,17 @@ class TenantCommGrid:
             return self.comm(name, rank)
 
         return _factory
+
+    def close(self) -> None:
+        """Release non-thread fabrics (shared-memory blocks, MPI comms)."""
+        with self._lock:
+            for fabric in self._fabrics.values():
+                fabric.destroy()
+            self._fabrics.clear()
+            self._endpoints.clear()
+            for mpi_comm in self._mpi_comms.values():
+                mpi_comm.Free()
+            self._mpi_comms.clear()
 
 
 @dataclass
@@ -373,7 +438,7 @@ class CheckedStreamService:
                     # while any PE still has data, exactly as the pull-
                     # based streaming loop does.
                     live = bool(
-                        comm.allreduce(int(bool(chunks)), op=lambda a, b: a | b)
+                        comm.allreduce(int(bool(chunks)), op=ops.BOR)
                     )
                 else:
                     live = bool(chunks)
@@ -415,6 +480,7 @@ class CheckedStreamService:
                 else derive_seed(base_seed, "settle-retry", attempt)
             )
             t0 = time.perf_counter()
+            failure: Exception | None = None
             try:
                 output, verdict, stats_w, record, quarantine = (
                     tenant.engine.settle_window(comm, w, seed_w, chunks)
@@ -428,43 +494,62 @@ class CheckedStreamService:
                         f"window {w} settlement took {elapsed:.3f}s "
                         f"(budget {cfg.settle_timeout:.3f}s)"
                     )
-                break
             except Exception as exc:  # noqa: BLE001 - retry boundary
-                if attempt >= cfg.settle_retries:
-                    verdict = CheckResult(
-                        accepted=False,
-                        checker="service-settle-failure",
-                        details={
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "attempts": attempt + 1,
-                        },
-                    )
-                    record = WindowRecord(
-                        window=w,
-                        verdict=verdict,
-                        accepted=False,
-                        seed=int(base_seed),
-                        seeds_used=[int(base_seed)],
-                        quarantined=True,
-                    )
-                    quarantine = QuarantinedWindow(
-                        window=w,
-                        attempts=attempt + 1,
-                        report=None,
-                        verdicts=[verdict],
-                    )
-                    stats_w = CheckedRunStats(
-                        operation_seconds=0.0,
-                        checker_seconds=0.0,
-                        windows=1,
-                        quarantined_windows=1,
-                    )
-                    output = None
-                    tenant.stats.record_settle_failure()
-                    break
-                tenant.stats.record_settle_retry()
-                time.sleep(cfg.retry_backoff * (2**attempt))
-                attempt += 1
+                failure = exc
+            # Retry consensus (ROADMAP PR 9 follow-up (b)): one extra
+            # allreduce per attempt so every rank of a distributed tenant
+            # learns whether *any* rank wants a retry, and all of them
+            # re-settle together under the same derived seed.  The
+            # consensus point sits after the settle collectives complete,
+            # so it covers post-settle failures — ``settle_timeout``
+            # overruns above all — on every rank symmetrically; a rank
+            # wedged *inside* a collective still ends in the transport
+            # timeout and fatal containment, as before.
+            if comm is not None:
+                want_retry = comm.allreduce(int(failure is not None), op=ops.MAX)
+            else:
+                want_retry = int(failure is not None)
+            if not want_retry:
+                break
+            if attempt >= cfg.settle_retries:
+                if failure is not None:
+                    error = f"{type(failure).__name__}: {failure}"
+                else:
+                    error = "peer rank exhausted settle retries"
+                verdict = CheckResult(
+                    accepted=False,
+                    checker="service-settle-failure",
+                    details={
+                        "error": error,
+                        "attempts": attempt + 1,
+                    },
+                )
+                record = WindowRecord(
+                    window=w,
+                    verdict=verdict,
+                    accepted=False,
+                    seed=int(base_seed),
+                    seeds_used=[int(base_seed)],
+                    quarantined=True,
+                )
+                quarantine = QuarantinedWindow(
+                    window=w,
+                    attempts=attempt + 1,
+                    report=None,
+                    verdicts=[verdict],
+                )
+                stats_w = CheckedRunStats(
+                    operation_seconds=0.0,
+                    checker_seconds=0.0,
+                    windows=1,
+                    quarantined_windows=1,
+                )
+                output = None
+                tenant.stats.record_settle_failure()
+                break
+            tenant.stats.record_settle_retry()
+            time.sleep(cfg.retry_backoff * (2**attempt))
+            attempt += 1
         latency = time.perf_counter() - start
         with tenant.lock:
             if cfg.keep_outputs:

@@ -64,7 +64,10 @@ class TenantConfig:
     the settlement retry loop: an attempt that raises or overruns the
     budget is retried under a fresh derived seed after an exponential
     backoff, and a window that exhausts its retries is quarantined with
-    the tenant marked degraded.
+    the tenant marked degraded.  Distributed tenants may set a finite
+    ``settle_timeout`` too: every attempt ends in a retry-consensus
+    allreduce, so all ranks retry and exhaust in lockstep (see
+    :mod:`repro.service.daemon`).
     """
 
     op: str

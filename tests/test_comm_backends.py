@@ -1,0 +1,290 @@
+"""Transport-level tests for the pluggable execution backends.
+
+Ring mechanics, the shared wire format, backend resolution, and the
+process backend's runner (fork fan-out, meters, failure propagation).
+These are tier-1: they must pass regardless of ``REPRO_COMM_BACKEND``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import Comm, Context, SPMDError, ops, resolve_backend
+from repro.comm.backend import (
+    FRAME_HEADER,
+    KIND_PICKLE,
+    KIND_RAW,
+    decode_frame,
+    encode_frame,
+)
+from repro.comm.context import Context as _Context
+from repro.comm.proc_backend import ShmEndpoint, ShmFabric
+from repro.service.daemon import TenantCommGrid
+
+
+def _decode(frame: bytes):
+    kind, meta_len, payload_len = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+    meta_end = FRAME_HEADER.size + meta_len
+    return kind, decode_frame(kind, frame[FRAME_HEADER.size : meta_end], frame[meta_end:])
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(100, dtype=np.int64),
+            np.arange(7, dtype=np.uint8),
+            np.zeros(0, dtype=np.float32),
+            np.arange(12, dtype=np.uint64).reshape(3, 4),
+        ],
+    )
+    def test_contiguous_arrays_go_raw(self, arr):
+        kind, back = _decode(encode_frame(arr))
+        assert kind == KIND_RAW
+        assert back.dtype == arr.dtype and back.shape == arr.shape
+        np.testing.assert_array_equal(back, arr)
+
+    def test_noncontiguous_array_falls_back_to_pickle(self):
+        arr = np.arange(20, dtype=np.int64)[::2]
+        kind, back = _decode(encode_frame(arr))
+        assert kind == KIND_PICKLE
+        np.testing.assert_array_equal(back, arr)
+
+    @pytest.mark.parametrize(
+        "obj",
+        [None, 17, 3.5, True, "text", b"bytes", (1, np.arange(3)), {"k": [1, 2]}],
+    )
+    def test_python_payload_roundtrip(self, obj):
+        kind, back = _decode(encode_frame(obj))
+        assert kind == KIND_PICKLE
+        if isinstance(obj, tuple):
+            np.testing.assert_array_equal(back[1], obj[1])
+        else:
+            assert back == obj
+
+    def test_corrupt_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            decode_frame(99, b"", b"")
+
+
+class TestBackendResolution:
+    def test_default_is_threads(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMM_BACKEND", raising=False)
+        assert resolve_backend(None) == "threads"
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_BACKEND", "processes")
+        assert resolve_backend(None) == "processes"
+        assert _Context(2).backend == "processes"
+
+    def test_explicit_arg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_BACKEND", "processes")
+        assert resolve_backend("threads") == "threads"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown comm backend"):
+            resolve_backend("osmosis")
+
+    def test_mpi_falls_back_when_unavailable(self, monkeypatch):
+        from repro.comm import mpi_backend
+
+        monkeypatch.delenv("REPRO_COMM_BACKEND", raising=False)
+        if mpi_backend.mpi_available():
+            pytest.skip("mpi4py present: no fallback to exercise")
+        monkeypatch.setitem(mpi_backend._state, "warned", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ctx = Context(2, backend="mpi")
+        assert ctx.backend == "threads"
+        assert ctx.run(lambda comm: comm.allreduce(1, op=ops.SUM)) == [2, 2]
+
+
+class TestShmRings:
+    def test_ring_roundtrip_with_wraparound(self):
+        fabric = ShmFabric.create(2, data_cap=64)
+        try:
+            a = ShmEndpoint(0, fabric)
+            b = ShmEndpoint(1, fabric)
+            # Repeated small messages cycle the write cursor past the
+            # capacity boundary many times.
+            for i in range(50):
+                a.send(1, i)
+                assert b.recv(0) == i
+        finally:
+            fabric.destroy()
+
+    def test_message_larger_than_ring_is_chunked(self):
+        fabric = ShmFabric.create(2, data_cap=1 << 10)
+        try:
+            big = np.arange(5_000, dtype=np.int64)  # 40 KB through a 1 KB ring
+
+            def sender():
+                ShmEndpoint(0, fabric).send(1, big)
+
+            t = threading.Thread(target=sender, daemon=True)
+            t.start()
+            got = ShmEndpoint(1, fabric).recv(0)
+            t.join()
+            np.testing.assert_array_equal(got, big)
+        finally:
+            fabric.destroy()
+
+    def test_exchange_is_nonblocking_for_oversized_frames(self):
+        # Both directions exceed the ring: send-then-recv would deadlock,
+        # the interleaved exchange must not.
+        fabric = ShmFabric.create(2, data_cap=1 << 10)
+        try:
+            big = np.arange(4_000, dtype=np.int64)
+            out = {}
+
+            def run(rank):
+                ep = ShmEndpoint(rank, fabric)
+                out[rank] = ep.exchange(1 - rank, big + rank)
+
+            threads = [
+                threading.Thread(target=run, args=(r,), daemon=True)
+                for r in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            np.testing.assert_array_equal(out[0], big + 1)
+            np.testing.assert_array_equal(out[1], big)
+        finally:
+            fabric.destroy()
+
+    def test_barrier_tokens_never_mix_with_data(self):
+        fabric = ShmFabric.create(2, data_cap=256)
+        try:
+            results = {}
+
+            def run(rank):
+                ep = ShmEndpoint(rank, fabric)
+                # Data in flight across a barrier: the token must not be
+                # consumed as payload or vice versa.
+                if rank == 0:
+                    ep.send(1, 41)
+                ep.barrier()
+                if rank == 1:
+                    results["got"] = ep.recv(0)
+                ep.barrier()
+
+            threads = [
+                threading.Thread(target=run, args=(r,), daemon=True)
+                for r in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results["got"] == 41
+        finally:
+            fabric.destroy()
+
+
+class TestProcessContext:
+    def test_matches_thread_backend(self):
+        data = np.arange(2_000, dtype=np.int64)
+
+        def program(comm, chunk):
+            total = comm.allreduce(int(chunk.sum()), op=ops.SUM)
+            offset = comm.exscan(len(chunk), op=ops.SUM, identity=0)
+            swapped = comm.sendrecv(comm.rank ^ 1, chunk[:3])
+            comm.barrier()
+            return total, offset, swapped.tolist()
+
+        runs = {}
+        for backend in ("threads", "processes"):
+            ctx = Context(4, backend=backend)
+            runs[backend] = ctx.run(program, per_rank_args=ctx.split(data))
+        assert runs["processes"] == runs["threads"]
+
+    def test_modeled_meter_bytes_match_thread_oracle(self):
+        def program(comm, chunk):
+            comm.allgather(chunk)
+            return None
+
+        data = np.arange(512, dtype=np.int64)
+        meters = {}
+        for backend in ("threads", "processes"):
+            ctx = Context(4, backend=backend)
+            ctx.run(program, per_rank_args=ctx.split(data))
+            meters[backend] = [(m.bytes_sent, m.bytes_received) for m in ctx.meters]
+        assert meters["processes"] == meters["threads"]
+
+    def test_wire_bytes_recorded_and_close_to_model(self):
+        def program(comm, chunk):
+            comm.allreduce(chunk, op=ops.SUM)
+            return None
+
+        ctx = Context(2, backend="processes")
+        ctx.run(program, per_rank_args=ctx.split(np.arange(4_096, dtype=np.int64)))
+        for m in ctx.meters:
+            assert m.wire_bytes_sent >= m.bytes_sent
+            # Frame + dtype-meta overhead stays small for array payloads.
+            assert m.wire_bytes_sent <= m.bytes_sent * 1.10
+
+    def test_exception_propagates_as_spmd_error(self):
+        def failer(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            return comm.rank
+
+        with pytest.raises(SPMDError, match="boom on rank 1"):
+            Context(2, backend="processes").run(failer)
+
+    def test_per_rank_tuple_args_and_common_args(self):
+        def program(comm, a, b, c):
+            return comm.allreduce(a * b + c, op=ops.SUM)
+
+        ctx = Context(2, backend="processes")
+        outs = ctx.run(
+            program, per_rank_args=[(1, 2), (3, 4)], common_args=(10,)
+        )
+        assert outs == [34, 34]
+
+    def test_single_pe_runs_inline(self):
+        ctx = Context(1, backend="processes")
+        assert ctx.run(lambda comm, x: x + comm.rank, per_rank_args=[5]) == [5]
+
+
+class TestTenantCommGridBackends:
+    def test_grid_process_backend_collectives(self):
+        grid = TenantCommGrid(2, backend="processes")
+        try:
+            results = {}
+
+            def run(rank):
+                comm = grid.comm("tenant-a", rank)
+                results[rank] = comm.allreduce(rank + 1, op=ops.SUM)
+                comm.barrier()
+
+            threads = [
+                threading.Thread(target=run, args=(r,), daemon=True)
+                for r in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results == {0: 3, 1: 3}
+        finally:
+            grid.close()
+
+    def test_grid_network_accessor_is_thread_only(self):
+        grid = TenantCommGrid(2, backend="processes")
+        try:
+            with pytest.raises(RuntimeError, match="no mailbox"):
+                grid.network("tenant-a")
+        finally:
+            grid.close()
+
+    def test_grid_endpoints_are_cached_per_rank(self):
+        grid = TenantCommGrid(2, backend="processes")
+        try:
+            c1 = grid.comm("t", 0)
+            c2 = grid.comm("t", 0)
+            assert c1.endpoint is c2.endpoint
+        finally:
+            grid.close()

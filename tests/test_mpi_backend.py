@@ -1,0 +1,74 @@
+"""mpi4py backend tests (``pytest -m mpi``).
+
+These run in a *single* process (MPI world size 1): operator mapping,
+world-size validation, the p = 1 inline path, and payload-eligibility
+rules for the native fast paths.  The real 4-rank exercise lives in
+``examples/mpi_backend_smoke.py`` under ``mpiexec -n 4`` (see the CI
+``test-mpi`` job); without mpi4py installed this module skips entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Context, ops
+from repro.comm.mpi_backend import (
+    _EXACT_KINDS,
+    _exact_array,
+    _mpi_op,
+    mpi_available,
+)
+
+pytestmark = [
+    pytest.mark.mpi,
+    pytest.mark.skipif(not mpi_available(), reason="mpi4py not installed"),
+]
+
+
+class TestOperatorMapping:
+    def test_all_named_ops_map(self):
+        from mpi4py import MPI
+
+        expected = {
+            "sum": MPI.SUM,
+            "max": MPI.MAX,
+            "min": MPI.MIN,
+            "bor": MPI.BOR,
+            "band": MPI.BAND,
+            "bxor": MPI.BXOR,
+            "lor": MPI.LOR,
+            "land": MPI.LAND,
+        }
+        for name, mpi_op in expected.items():
+            assert _mpi_op(MPI, getattr(ops, name.upper())) is mpi_op
+
+    def test_anonymous_callable_has_no_native_path(self):
+        from mpi4py import MPI
+
+        assert _mpi_op(MPI, lambda a, b: a + b) is None
+
+
+class TestFastPathEligibility:
+    @pytest.mark.parametrize("dtype", [np.int64, np.uint8, np.uint64, bool])
+    def test_integer_arrays_are_exact(self, dtype):
+        assert _exact_array(np.zeros(4, dtype=dtype))
+        assert np.dtype(dtype).kind in _EXACT_KINDS
+
+    def test_float_and_object_payloads_fall_back(self):
+        assert not _exact_array(np.zeros(4, dtype=np.float64))
+        assert not _exact_array(np.zeros(4, dtype=object))
+        assert not _exact_array([1, 2, 3])
+        assert not _exact_array(np.arange(8)[::2])  # non-contiguous
+
+
+class TestWorldSizeDiscipline:
+    def test_mismatched_world_size_is_rejected(self):
+        from mpi4py import MPI
+
+        want = MPI.COMM_WORLD.Get_size() + 1
+        ctx = Context(want, backend="mpi")
+        with pytest.raises(RuntimeError, match="world size"):
+            ctx.run(lambda comm: comm.rank)
+
+    def test_single_pe_runs_inline(self):
+        ctx = Context(1, backend="mpi")
+        assert ctx.run(lambda comm: comm.allreduce(3, op=ops.SUM)) == [3]

@@ -432,3 +432,82 @@ class TestDistributedIsolation:
         assert elapsed < 60.0
         for svc in services:
             svc.shutdown(timeout=10)
+        grid.close()
+
+    def test_settle_timeout_retries_in_lockstep_across_ranks(self):
+        """Retry consensus: a settle-timeout on ONE rank makes every rank
+        of the tenant retry together under the same derived seed.
+
+        Rank 0 gets a tight ``settle_timeout`` and a transient slowdown in
+        window 0; rank 1's budget is unbounded, so on its own it would
+        never retry — the extra consensus allreduce is what forces it to.
+        Before that allreduce existed, this configuration desynced the
+        tenant's collectives (the docstring said to keep the timeout
+        unbounded on distributed tenants)."""
+        p = 2
+        grid = TenantCommGrid(p)
+        services = [
+            CheckedStreamService(comm_factory=grid.factory(r)) for r in range(p)
+        ]
+        rng = np.random.default_rng(91)
+        chunks = {
+            r: [
+                (
+                    rng.integers(0, 30, 96).astype(np.uint64),
+                    rng.integers(0, 1 << 16, 96).astype(np.int64),
+                )
+                for _ in range(4)
+            ]
+            for r in range(p)
+        }
+        slowed = {"done": False}
+
+        def slow_once(window, keys, values):
+            if window == 0 and not slowed["done"]:
+                slowed["done"] = True
+                time.sleep(0.2)
+            return keys, values
+
+        handles = {}
+        for r, svc in enumerate(services):
+            handles[r] = svc.register(
+                "t",
+                TenantConfig(
+                    op="reduce_by_key",
+                    config=CONFIG,
+                    seed=5,
+                    chunks_per_window=2,
+                    settle_timeout=0.05 if r == 0 else None,
+                    settle_retries=2,
+                    retry_backoff=0.001,
+                    fault=slow_once if r == 0 else None,
+                ),
+            )
+        for c in range(4):
+            for r in range(p):
+                handles[r].submit(chunks[r][c])
+        for r in range(p):
+            handles[r].close()
+        for svc in services:
+            assert svc.drain(timeout=120)
+        results = {r: handles[r].result() for r in range(p)}
+        for r in range(p):
+            assert results[r].accepted
+            assert results[r].stats.windows_quarantined == 0
+            # Both ranks retried exactly once — rank 1 only because the
+            # consensus allreduce told it rank 0 timed out.
+            assert results[r].stats.settle_retries == 1
+        # The lockstep evidence: both ranks settled every window under
+        # the same (retry-derived) seeds.  (Outputs are key-sharded per
+        # rank, so they are disjoint by construction, not equal.)
+        trails = [
+            [
+                (rec.window, int(rec.seed), tuple(int(s) for s in rec.seeds_used))
+                for rec in results[r].window_history
+            ]
+            for r in range(p)
+        ]
+        assert trails[0] == trails[1]
+        for svc in services:
+            svc.shutdown(timeout=10)
+        grid.close()
